@@ -1,0 +1,170 @@
+"""F1 — Fig 1: the dual event schemas (hour:type / hour:source).
+
+Regenerates what the schema diagram promises:
+
+* both views hold the same events, partitioned differently;
+* rows inside every partition are time-ordered (one-hour series);
+* a context query (one hour, one type / one source) is a
+  *single-partition* read and is far cheaper than scanning;
+* ablation: hour-grain partitions vs day-grain partitions.
+"""
+
+import statistics
+
+import pytest
+
+from repro.cassdb import Cluster, TableSchema
+from repro.core.model import TABLE_SCHEMAS, LogDataModel
+
+from conftest import HORIZON, report
+
+
+@pytest.fixture(scope="module")
+def loaded_cluster(events):
+    cluster = Cluster(4, replication_factor=2)
+    model = LogDataModel(cluster)
+    model.create_tables()
+    model.write_events(events)
+    return cluster, model
+
+
+class TestWritePath:
+    def test_dual_view_write_throughput(self, benchmark, events):
+        """Cost of writing one event into both views (Fig 1 ingest)."""
+        sample = events[:2000]
+
+        def ingest():
+            cluster = Cluster(4, replication_factor=2)
+            model = LogDataModel(cluster)
+            model.create_tables()
+            model.write_events(sample)
+            return cluster
+
+        cluster = benchmark.pedantic(ingest, rounds=3, iterations=1)
+        assert cluster.total_rows("event_by_time") == len(sample)
+        assert cluster.total_rows("event_by_location") == len(sample)
+
+
+class TestPartitioningShape:
+    def test_partition_structure(self, benchmark, loaded_cluster, events):
+        cluster, model = loaded_cluster
+
+        def inspect():
+            return (cluster.partition_keys("event_by_time"),
+                    cluster.partition_keys("event_by_location"))
+
+        by_time, by_loc = benchmark(inspect)
+        # hour:type yields ~ (hours x active types) partitions; hour:source
+        # yields ~ (hours x active nodes) — far more, far smaller.
+        n_types = len({e.type for e in events})
+        n_hours = len({e.hour for e in events})
+        report("Fig 1: partition counts", [
+            ("view", "partitions", "events/partition (mean)"),
+            ("event_by_time", len(by_time),
+             round(len(events) / len(by_time), 1)),
+            ("event_by_location", len(by_loc),
+             round(len(events) / len(by_loc), 1)),
+        ])
+        assert len(by_time) <= n_types * n_hours
+        assert len(by_loc) > len(by_time)
+
+    def test_rows_time_ordered_within_partition(self, benchmark,
+                                                loaded_cluster):
+        cluster, model = loaded_cluster
+
+        def check():
+            bad = 0
+            for hour in range(int(HORIZON // 3600)):
+                rows = cluster.select_partition(
+                    "event_by_time", (hour, "LUSTRE_ERR"))
+                times = [r["ts"] for r in rows]
+                if times != sorted(times):
+                    bad += 1
+            return bad
+
+        assert benchmark(check) == 0
+
+
+class TestReadPath:
+    def test_context_read_vs_scan(self, benchmark, loaded_cluster, events):
+        """The schema's point: a (hour, type) context is one partition."""
+        cluster, model = loaded_cluster
+        import time
+
+        def context_read():
+            return cluster.select_partition("event_by_time", (3, "DRAM_CE"))
+
+        rows = benchmark(context_read)
+        expected = [e for e in events if e.hour == 3 and e.type == "DRAM_CE"]
+        assert len(rows) == len(expected)
+
+        # One-shot comparison against the full scan (not benchmarked to
+        # keep runtime sane; magnitude is what matters).
+        t0 = time.perf_counter()
+        context_read()
+        t_ctx = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        scanned = [
+            r for r in cluster.scan_table("event_by_time")
+            if r["hour"] == 3 and r["type"] == "DRAM_CE"
+        ]
+        t_scan = time.perf_counter() - t0
+        report("Fig 1: context read vs full scan", [
+            ("path", "seconds", "rows"),
+            ("single partition", f"{t_ctx:.6f}", len(rows)),
+            ("full scan + filter", f"{t_scan:.6f}", len(scanned)),
+            ("speedup", f"{t_scan / max(t_ctx, 1e-9):.0f}x", ""),
+        ])
+        assert len(scanned) == len(rows)
+        assert t_scan > 5 * t_ctx  # partition read must win big
+
+
+class TestGranularityAblation:
+    def test_hour_vs_day_partitions(self, benchmark, events):
+        """DESIGN.md ablation: coarser partitions mean fewer, fatter rows
+        and more over-read for sub-hour queries."""
+        def build(grain_seconds):
+            cluster = Cluster(4)
+            cluster.create_table(TableSchema(
+                "ev", partition_key=("bucket", "type"),
+                clustering_key=("ts", "seq")))
+            for i, e in enumerate(events):
+                cluster.insert("ev", {
+                    "bucket": int(e.ts // grain_seconds), "type": e.type,
+                    "ts": e.ts, "seq": i, "amount": e.amount,
+                })
+            return cluster
+
+        hour_cluster = build(3600)
+        day_cluster = build(86400)
+
+        def query_one_hour_on_day_grain():
+            from repro.cassdb import ClusteringBound
+
+            return day_cluster.select_partition(
+                "ev", (0, "DRAM_CE"),
+                lower=ClusteringBound((3 * 3600.0,)),
+                upper=ClusteringBound((4 * 3600.0,), inclusive=False),
+            )
+
+        rows = benchmark(query_one_hour_on_day_grain)
+        hour_parts = len(hour_cluster.partition_keys("ev"))
+        day_parts = len(day_cluster.partition_keys("ev"))
+        report("Fig 1 ablation: partition grain", [
+            ("grain", "partitions", "max partition rows"),
+            ("hour", hour_parts, _max_partition(hour_cluster)),
+            ("day", day_parts, _max_partition(day_cluster)),
+        ])
+        assert day_parts < hour_parts
+        # Same answer either way (clustering-range read on the fat
+        # partition), so correctness holds; dispersal is what's lost.
+        hour_rows = hour_cluster.select_partition("ev", (3, "DRAM_CE"))
+        assert len(rows) == len(hour_rows)
+
+
+def _max_partition(cluster) -> int:
+    sizes = {}
+    for row in cluster.scan_table("ev"):
+        key = (row["bucket"], row["type"])
+        sizes[key] = sizes.get(key, 0) + 1
+    return max(sizes.values())

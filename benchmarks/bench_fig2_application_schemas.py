@@ -1,0 +1,104 @@
+"""F2 — Fig 2: the three denormalized application-run views.
+
+Regenerates the schema diagram's promise: each access pattern (by hour,
+by user, by node) is a single-partition read in its own view, and using
+the *wrong* view (scan + filter) costs orders of magnitude more.
+"""
+
+import pytest
+
+from repro.cassdb import Cluster
+from repro.core.model import LogDataModel
+
+from conftest import HORIZON, report
+
+
+@pytest.fixture(scope="module")
+def app_model(runs):
+    cluster = Cluster(4, replication_factor=2)
+    model = LogDataModel(cluster)
+    model.create_tables()
+    model.write_applications(runs)
+    return cluster, model
+
+
+class TestDenormalizedViews:
+    def test_by_user_view(self, benchmark, app_model, runs):
+        cluster, model = app_model
+        user = runs[0].user
+
+        rows = benchmark(lambda: model.runs_of_user(user))
+        expected = [r for r in runs if r.user == user]
+        assert {r["apid"] for r in rows} == {r.apid for r in expected}
+        # Clustered by (start, apid): the user's history is time-ordered.
+        starts = [r["start"] for r in rows]
+        assert starts == sorted(starts)
+
+    def test_by_location_view(self, benchmark, app_model, runs):
+        cluster, model = app_model
+        node = runs[0].nodes[0]
+
+        rows = benchmark(lambda: model.runs_on_node(node))
+        expected = {r.apid for r in runs if node in r.nodes}
+        assert {r["apid"] for r in rows} == expected
+
+    def test_by_time_view_snapshot(self, benchmark, app_model, runs):
+        cluster, model = app_model
+        ts = HORIZON / 2
+
+        rows = benchmark(lambda: model.runs_running_at(ts))
+        expected = {r.apid for r in runs if r.running_at(ts)}
+        assert {r["apid"] for r in rows} == expected
+
+    def test_right_view_vs_wrong_view(self, benchmark, app_model, runs):
+        """Looking up a user's runs via the per-user view vs filtering
+        the per-hour view (what you'd do without denormalization)."""
+        import time
+
+        cluster, model = app_model
+        user = runs[0].user
+
+        right = benchmark(lambda: model.runs_of_user(user))
+
+        t0 = time.perf_counter()
+        model.runs_of_user(user)
+        t_right = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        wrong = [
+            r for r in model.runs_in_interval(0.0, HORIZON)
+            if r["user"] == user
+        ]
+        t_wrong = time.perf_counter() - t0
+        report("Fig 2: dedicated view vs scan of another view", [
+            ("path", "seconds", "rows"),
+            ("application_by_user partition", f"{t_right:.6f}", len(right)),
+            ("application_by_time scan+filter", f"{t_wrong:.6f}", len(wrong)),
+            ("speedup", f"{t_wrong / max(t_right, 1e-9):.0f}x", ""),
+        ])
+        assert {r["apid"] for r in wrong} == {r["apid"] for r in right}
+        assert t_wrong > 3 * t_right
+
+    def test_write_amplification_accounted(self, benchmark, runs):
+        """Denormalization's cost: one logical run becomes ~2+hours+nodes
+        physical rows.  Measure the write fan-out factor."""
+        sample = runs[:100]
+
+        def ingest():
+            cluster = Cluster(2)
+            model = LogDataModel(cluster)
+            model.create_tables()
+            model.write_applications(sample)
+            return cluster
+
+        cluster = benchmark.pedantic(ingest, rounds=3, iterations=1)
+        physical = cluster.coordinator_writes
+        fanout = physical / len(sample)
+        report("Fig 2: write amplification of denormalization", [
+            ("logical runs", len(sample)),
+            ("physical rows", physical),
+            ("fan-out", f"{fanout:.1f}x"),
+        ])
+        mean_nodes = sum(r.num_nodes for r in sample) / len(sample)
+        # by_user (1) + by_time (>=1 per overlapped hour) + by_location
+        # (one per node) — fan-out must be at least nodes + 2.
+        assert fanout >= mean_nodes + 2

@@ -1,0 +1,115 @@
+"""F3 — Fig 3: the end-to-end architecture (frontend → server → backend).
+
+Regenerates the latency story of the three-tier design: frontend JSON
+requests flow through the analytics server; *simple* queries go
+straight to the query engine / backend and come back in
+near-real time (§II-A "Low latency"), *complex* queries fan out through
+the big-data unit and cost more.  Also exercises concurrent request
+handling (the Tornado property).
+"""
+
+import asyncio
+import statistics
+
+import pytest
+
+from repro.core import AnalyticsServer
+
+from conftest import HORIZON, report
+
+
+@pytest.fixture(scope="module")
+def server(fw):
+    return AnalyticsServer(fw)
+
+
+def _ctx(fw, **kw):
+    return fw.context(0, HORIZON, **kw).to_json()
+
+
+class TestSimpleQueryPath:
+    def test_context_events_latency(self, benchmark, server, fw):
+        request = {
+            "op": "events",
+            "context": fw.context(3 * 3600, 4 * 3600,
+                                  event_types=("DRAM_CE",)).to_json(),
+        }
+        response = benchmark(lambda: server.handle_sync(request))
+        assert response["ok"]
+
+    def test_metadata_latency(self, benchmark, server):
+        response = benchmark(
+            lambda: server.handle_sync({"op": "event_types"})
+        )
+        assert response["ok"]
+
+    def test_cql_passthrough_latency(self, benchmark, server):
+        request = {
+            "op": "cql",
+            "statement": "SELECT * FROM eventtypes WHERE name = 'MCE'",
+        }
+        response = benchmark(lambda: server.handle_sync(request))
+        assert response["ok"]
+
+
+class TestComplexQueryPath:
+    def test_heatmap_latency(self, benchmark, server, fw):
+        request = {"op": "heatmap",
+                   "context": _ctx(fw, event_types=("MCE",))}
+        response = benchmark(lambda: server.handle_sync(request))
+        assert response["ok"]
+
+    def test_transfer_entropy_latency(self, benchmark, server, fw):
+        request = {
+            "op": "transfer_entropy", "context": _ctx(fw),
+            "source_type": "DRAM_UE", "target_type": "KERNEL_PANIC",
+            "bin_seconds": 60.0, "n_shuffles": 25,
+        }
+        response = benchmark.pedantic(
+            lambda: server.handle_sync(request), rounds=3, iterations=1
+        )
+        assert response["ok"]
+
+
+class TestArchitectureShape:
+    def test_simple_faster_than_complex(self, benchmark, server, fw):
+        """The routing split exists because the two classes differ by
+        orders of magnitude; verify and report the breakdown."""
+        simple = {"op": "synopsis", "hour": 1}
+        server.handle_sync({"op": "refresh_synopsis"})
+        complex_ = {
+            "op": "transfer_entropy", "context": _ctx(fw),
+            "source_type": "DRAM_UE", "target_type": "KERNEL_PANIC",
+            "n_shuffles": 50,
+        }
+        for _ in range(20):
+            server.handle_sync(simple)
+        for _ in range(2):
+            server.handle_sync(complex_)
+
+        benchmark(lambda: server.handle_sync(simple))
+
+        t_simple = statistics.median(server.latencies_ms["synopsis"])
+        t_complex = statistics.median(
+            server.latencies_ms["transfer_entropy"])
+        rows = [("op class", "median latency (ms)")]
+        for op, lats in sorted(server.latencies_ms.items()):
+            rows.append((op, f"{statistics.median(lats):.2f}"))
+        report("Fig 3: per-op latency through the server", rows)
+        assert t_complex > 10 * t_simple
+
+    def test_concurrent_request_throughput(self, benchmark, server, fw):
+        """A batch of mixed requests served concurrently (long-poll
+        clients); all must succeed."""
+        requests = (
+            [{"op": "ping"}] * 4
+            + [{"op": "synopsis", "hour": h} for h in range(4)]
+            + [{"op": "heatmap",
+                "context": _ctx(fw, event_types=("OOM",))}]
+        )
+
+        def serve_batch():
+            return asyncio.run(server.handle_many(requests))
+
+        responses = benchmark(serve_batch)
+        assert all(r["ok"] for r in responses)

@@ -1,0 +1,127 @@
+"""F4 — Fig 4: event partitions mapped to nodes by (hour, type).
+
+Regenerates the figure's claim that the hash of hour+type "dispers[es]
+overheads in both reading and writing data evenly over to the cluster
+nodes":
+
+* primary-ownership balance of real (hour, type) partition keys over
+  4-node and 32-node rings;
+* vnode ablation: balance vs virtual-node count;
+* replica dispersal under RF=3;
+* the co-location payoff: sparklet tasks run where their partitions
+  live (locality fraction 1.0 under the locality policy).
+"""
+
+import statistics
+
+import pytest
+
+from repro.cassdb import Cluster, TableSchema
+from repro.cassdb.hashring import HashRing
+from repro.sparklet import SparkletContext
+
+from conftest import report
+
+
+def _partition_keys(hours=24 * 30, types=18):
+    return [f"{h}:type{t}" for h in range(hours) for t in range(types)]
+
+
+def _balance(counts: dict[str, int]) -> float:
+    """Coefficient of variation of per-node load (0 = perfect)."""
+    values = list(counts.values())
+    mean = statistics.mean(values)
+    return statistics.pstdev(values) / mean if mean else 0.0
+
+
+class TestOwnershipBalance:
+    @pytest.mark.parametrize("n_nodes", [4, 32])
+    def test_partition_dispersal(self, benchmark, n_nodes):
+        keys = _partition_keys()
+        ring = HashRing([f"node{i:02d}" for i in range(n_nodes)], vnodes=64)
+
+        counts = benchmark(lambda: ring.ownership(keys))
+        cv = _balance(counts)
+        mean = len(keys) / n_nodes
+        report(f"Fig 4: (hour,type) partition ownership over {n_nodes} nodes", [
+            ("nodes", n_nodes),
+            ("partitions", len(keys)),
+            ("mean/node", f"{mean:.0f}"),
+            ("min/node", min(counts.values())),
+            ("max/node", max(counts.values())),
+            ("CV", f"{cv:.3f}"),
+        ])
+        assert cv < 0.25
+        assert max(counts.values()) < 2.0 * mean
+
+    def test_vnode_ablation(self, benchmark):
+        """DESIGN.md ablation: more vnodes → smoother ownership."""
+        keys = _partition_keys()
+        nodes = [f"node{i:02d}" for i in range(8)]
+
+        def sweep():
+            return {
+                v: _balance(HashRing(nodes, vnodes=v).ownership(keys))
+                for v in (1, 4, 16, 64, 256)
+            }
+
+        cvs = benchmark.pedantic(sweep, rounds=2, iterations=1)
+        report("Fig 4 ablation: vnodes vs balance (CV of node load)", [
+            ("vnodes", "CV"), *[(v, f"{cv:.3f}") for v, cv in cvs.items()],
+        ])
+        assert cvs[256] < cvs[1]
+        assert cvs[64] < 0.25
+
+    def test_replica_dispersal_rf3(self, benchmark):
+        keys = _partition_keys(hours=24 * 7)
+        ring = HashRing([f"n{i}" for i in range(8)], vnodes=64,
+                        replication_factor=3)
+
+        def replica_load():
+            counts = {n: 0 for n in ring.nodes}
+            for key in keys:
+                for replica in ring.replicas(key):
+                    counts[replica] += 1
+            return counts
+
+        counts = benchmark(replica_load)
+        total = sum(counts.values())
+        assert total == 3 * len(keys)
+        assert _balance(counts) < 0.25
+
+
+class TestCoLocation:
+    def test_tasks_run_on_partition_holders(self, benchmark, events):
+        """§III-A: "By associating local partitions with the same local
+        Spark worker, the big data processing unit performs analytics
+        efficiently" — locality fraction must be 1.0, remote traffic 0."""
+        sample = events[:4000]
+        cluster = Cluster(4, replication_factor=2)
+        cluster.create_table(TableSchema(
+            "event_by_time", partition_key=("hour", "type"),
+            clustering_key=("ts", "seq")))
+        for i, e in enumerate(sample):
+            cluster.insert("event_by_time", {
+                "hour": e.hour, "type": e.type, "ts": e.ts, "seq": i,
+                "source": e.component, "amount": e.amount})
+
+        sc = SparkletContext(cluster=cluster, placement="locality")
+
+        def scan():
+            sc.reset_metrics()
+            return sc.cassandraTable("event_by_time").count()
+
+        count = benchmark(scan)
+        assert count == len(sample)
+        report("Fig 4: task placement under the locality policy", [
+            ("locality fraction", sc.metrics.locality_fraction),
+            ("remote records", sc.metrics.remote_records),
+        ])
+        assert sc.metrics.locality_fraction == 1.0
+        assert sc.metrics.remote_records == 0
+
+        random_sc = SparkletContext(cluster=cluster, placement="random")
+        assert random_sc.cassandraTable("event_by_time").count() == len(sample)
+        assert random_sc.metrics.remote_records > 0
+        random_sc.stop()
+        sc.stop()

@@ -1,0 +1,112 @@
+"""F5 — Fig 5: heat maps and event distributions over an interval.
+
+Regenerates the bottom panel of Fig 5: "Machine Check Exception (MCE)
+errors occurred abnormally high in some compute nodes over a selected
+time period" — the heat map must localize the generator's injected hot
+nodes, and the per-cabinet/blade/node/application distributions must be
+consistent roll-ups.  Driver-side and engine-side heat maps are both
+timed.
+"""
+
+import pytest
+
+from repro.core import heatmap_engine
+
+from conftest import HORIZON, report
+
+
+class TestHeatmapComputation:
+    def test_driver_heatmap_latency(self, benchmark, fw):
+        ctx = fw.context(0, HORIZON, event_types=("MCE",))
+        counts = benchmark(lambda: fw.heatmap(ctx, "node"))
+        assert counts
+
+    def test_engine_heatmap_latency(self, benchmark, fw):
+        counts = benchmark.pedantic(
+            lambda: heatmap_engine(fw.sc, "MCE", 0, HORIZON, "node"),
+            rounds=3, iterations=1,
+        )
+        ctx = fw.context(0, HORIZON, event_types=("MCE",))
+        assert counts == fw.heatmap(ctx, "node")
+
+    def test_rollup_consistency(self, benchmark, fw):
+        ctx = fw.context(0, HORIZON, event_types=("MCE",))
+
+        def rollups():
+            return (fw.heatmap(ctx, "node"), fw.heatmap(ctx, "blade"),
+                    fw.heatmap(ctx, "cabinet"))
+
+        node, blade, cabinet = benchmark(rollups)
+        assert sum(node.values()) == sum(blade.values()) == sum(
+            cabinet.values())
+        report("Fig 5: MCE distribution roll-up", [
+            ("granularity", "components", "total"),
+            ("node", len(node), sum(node.values())),
+            ("blade", len(blade), sum(blade.values())),
+            ("cabinet", len(cabinet), sum(cabinet.values())),
+        ])
+
+
+class TestHotspotRecovery:
+    def test_injected_hot_nodes_recovered(self, benchmark, fw, generator):
+        """The headline: the framework must find the nodes the generator
+        made abnormally hot.  Report precision/recall."""
+        ctx = fw.context(0, HORIZON, event_types=("MCE",))
+
+        spots = benchmark(lambda: fw.hotspots(ctx, z_threshold=4.0))
+        found = {h.component for h in spots}
+        truth = set(generator.ground_truth.hot_nodes["MCE"])
+        tp = len(found & truth)
+        precision = tp / len(found) if found else 0.0
+        recall = tp / len(truth)
+        report("Fig 5: hot-node recovery (MCE)", [
+            ("injected hot nodes", len(truth)),
+            ("flagged", len(found)),
+            ("true positives", tp),
+            ("precision", f"{precision:.2f}"),
+            ("recall", f"{recall:.2f}"),
+        ])
+        assert recall == 1.0
+        assert precision >= 0.5
+
+    def test_hotspot_zscores_separate(self, benchmark, fw, generator):
+        """Hot nodes must be far above threshold, cold far below."""
+        ctx = fw.context(0, HORIZON, event_types=("MCE",))
+        counts = fw.heatmap(ctx, "node")
+        truth = set(generator.ground_truth.hot_nodes["MCE"])
+
+        from repro.core import detect_hotspots
+
+        spots = benchmark(lambda: detect_hotspots(
+            counts, fw.topology.num_nodes, z_threshold=4.0))
+        hot_z = min(h.z_score for h in spots if h.component in truth)
+        assert hot_z > 8.0  # injected multiplier 25x: unambiguous
+
+
+class TestDistributions:
+    def test_distribution_by_application(self, benchmark, fw):
+        ctx = fw.context(0, HORIZON, event_types=("DRAM_CE",))
+        dist = benchmark(lambda: fw.distribution_by_application(ctx))
+        assert dist
+        report("Fig 5: DRAM_CE by application (top 5)",
+               [("app", "events")] + dist[:5])
+
+    def test_temporal_histogram(self, benchmark, fw):
+        ctx = fw.context(0, HORIZON, event_types=("LUSTRE_ERR",))
+        edges, counts = benchmark(lambda: fw.time_histogram(ctx, 48))
+        assert counts.sum() > 0
+
+    def test_render_full_view(self, benchmark, fw):
+        """Rendering cost of the complete Fig 5 screen: physical map +
+        temporal map + distributions."""
+        ctx = fw.context(0, HORIZON, event_types=("MCE",))
+
+        def render_screen():
+            return (
+                fw.render_heatmap(ctx, title="MCE"),
+                fw.render_temporal_map(ctx, num_bins=24),
+                fw.distribution(ctx, "cabinet"),
+            )
+
+        heat, temporal, dist = benchmark(render_screen)
+        assert "MCE" in heat and temporal

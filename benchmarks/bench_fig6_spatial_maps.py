@@ -1,0 +1,99 @@
+"""F6 — Fig 6: event occurrences and application placement on the
+physical system map.
+
+Regenerates the two panels: "Lustre error occurrences on each compute
+node (Top) and the placement of user applications (Bottom) at the
+specified timestamp".  Both are snapshot queries the frontend issues
+when the user clicks a time: they must be cheap (a handful of partition
+reads) and correct against the generator's ground truth.
+"""
+
+import pytest
+
+from repro.genlog import JobGenerator
+
+from conftest import HORIZON, report
+
+
+SNAPSHOT = HORIZON / 2
+WINDOW = 300.0  # ± the few minutes around the clicked timestamp
+
+
+class TestEventOccurrenceMap:
+    def test_snapshot_query_latency(self, benchmark, fw):
+        ctx = fw.context(SNAPSHOT - WINDOW, SNAPSHOT + WINDOW,
+                         event_types=("LUSTRE_ERR",))
+        counts = benchmark(lambda: fw.heatmap(ctx, "node"))
+        # May legitimately be empty if quiet, but the query must work;
+        # correctness asserted against generator below.
+
+    def test_snapshot_matches_generator(self, benchmark, fw, events):
+        ctx = fw.context(SNAPSHOT - WINDOW, SNAPSHOT + WINDOW,
+                         event_types=("LUSTRE_ERR",))
+        counts = benchmark(lambda: fw.heatmap(ctx, "node"))
+        truth = {}
+        for e in events:
+            if (e.type == "LUSTRE_ERR"
+                    and SNAPSHOT - WINDOW <= e.ts < SNAPSHOT + WINDOW):
+                truth[e.component] = truth.get(e.component, 0) + e.amount
+        assert counts == truth
+
+    def test_render_occurrence_map(self, benchmark, fw):
+        ctx = fw.context(SNAPSHOT - WINDOW, SNAPSHOT + WINDOW,
+                         event_types=("LUSTRE_ERR",))
+        out = benchmark(lambda: fw.render_heatmap(ctx, title="Lustre"))
+        assert out.startswith("Lustre")
+
+
+class TestApplicationPlacementMap:
+    def test_placement_snapshot_latency(self, benchmark, fw):
+        rows = benchmark(lambda: fw.model.runs_running_at(SNAPSHOT))
+        assert rows  # the synthetic machine is busy at mid-window
+
+    def test_placement_matches_generator(self, benchmark, fw, runs):
+        rows = benchmark(lambda: fw.model.runs_running_at(SNAPSHOT))
+        truth = JobGenerator.running_at(runs, SNAPSHOT)
+        assert {r["apid"] for r in rows} == {r.apid for r in truth}
+        # Exact node sets too (the map colours individual nodes).
+        by_apid = {r.apid: set(r.nodes) for r in truth}
+        for row in rows:
+            assert set(fw.model.run_nodes(row)) == by_apid[row["apid"]]
+
+    def test_no_allocation_overlap_in_snapshot(self, benchmark, fw):
+        rows = benchmark(lambda: fw.model.runs_running_at(SNAPSHOT))
+        seen: set[str] = set()
+        for row in rows:
+            nodes = set(fw.model.run_nodes(row))
+            assert not (nodes & seen)
+            seen.update(nodes)
+        report("Fig 6: placement snapshot", [
+            ("running applications", len(rows)),
+            ("allocated nodes", len(seen)),
+            ("machine utilization",
+             f"{len(seen) / fw.topology.num_nodes:.0%}"),
+        ])
+
+    def test_render_placement_map(self, benchmark, fw):
+        out = benchmark(lambda: fw.render_placement(SNAPSHOT))
+        assert "legend" in out
+
+
+class TestCombinedInvestigation:
+    def test_overlay_events_on_applications(self, benchmark, fw):
+        """The Fig-6 overlay question: which running apps had Lustre
+        errors on their nodes at the snapshot?"""
+
+        def affected_apps():
+            ctx = fw.context(SNAPSHOT - WINDOW, SNAPSHOT + WINDOW,
+                             event_types=("LUSTRE_ERR",))
+            err_nodes = set(fw.heatmap(ctx, "node"))
+            hits = []
+            for row in fw.model.runs_running_at(SNAPSHOT):
+                overlap = err_nodes & set(fw.model.run_nodes(row))
+                if overlap:
+                    hits.append((row["app"], row["apid"], len(overlap)))
+            return hits
+
+        hits = benchmark(affected_apps)
+        report("Fig 6: applications overlapping Lustre errors",
+               [("app", "apid", "afflicted nodes")] + hits[:8])

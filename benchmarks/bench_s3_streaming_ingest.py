@@ -1,0 +1,142 @@
+"""S3 — §III-D: streaming ingest with the 1-second coalescing window.
+
+Regenerates the streaming path's properties:
+
+* end-to-end pipeline throughput (bus → DStream → coalesce → model);
+* coalescing compresses storm traffic heavily (same type + node +
+  second collapse to one row) while preserving total amounts;
+* ablation: window width 0 / 1 / 5 seconds vs rows written.
+"""
+
+import pytest
+
+from repro.bus import MessageBus
+from repro.ingest import (
+    ListSink,
+    LogProducer,
+    ParsedEvent,
+    StreamingIngestor,
+)
+from repro.sparklet import SparkletContext
+from repro.titan import LogSource
+
+from conftest import report
+
+
+def _storm_events(nodes=60, per_node=25, start=1000.0, burst=5):
+    """A synthetic storm: each node logs ``burst`` messages per second
+    (retry loops hammering the dead OST), so same-(type, node, second)
+    duplicates dominate — the §III-D coalescing target."""
+    events = []
+    for j in range(nodes):
+        comp = f"c0-0c{j % 3}s{j % 8}n{j % 4}"
+        for i in range(per_node):
+            ts = start + (i // burst) + (i % burst) / (burst + 1)
+            events.append(ParsedEvent(
+                ts=ts, type="LUSTRE_ERR", component=comp,
+                source=LogSource.CONSOLE,
+                attrs={"ost": "atlas-OST0042"}))
+    return events
+
+
+class TestPipelineThroughput:
+    def test_events_per_second(self, benchmark, generator, events):
+        lines = list(generator.raw_lines(events[:3000]))
+
+        def pipeline():
+            bus = MessageBus()
+            producer = LogProducer(bus, "t")
+            sink = ListSink()
+            with SparkletContext(2) as sc:
+                ingestor = StreamingIngestor(bus, "t", sink, sc)
+                producer.publish_lines(lines)
+                ingestor.process_available()
+                ingestor.flush()
+            return ingestor
+
+        ingestor = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+        assert ingestor.stats.polled == len(lines)
+        assert ingestor.lag == 0
+
+
+class TestStormCoalescing:
+    def test_compression_ratio(self, benchmark, topo):
+        events = _storm_events()
+
+        def pipeline():
+            bus = MessageBus()
+            producer = LogProducer(bus, "t")
+            sink = ListSink()
+            with SparkletContext(2) as sc:
+                ingestor = StreamingIngestor(bus, "t", sink, sc)
+                producer.publish_events(events)
+                ingestor.process_available()
+                ingestor.flush()
+            return ingestor, sink
+
+        ingestor, sink = benchmark.pedantic(pipeline, rounds=3,
+                                            iterations=1)
+        ratio = ingestor.stats.polled / max(1, ingestor.stats.written)
+        report("S3: storm coalescing (1 s window)", [
+            ("events polled", ingestor.stats.polled),
+            ("rows written", ingestor.stats.written),
+            ("compression", f"{ratio:.1f}x"),
+        ])
+        assert ratio > 3.0
+        # Amounts preserved exactly.
+        assert sum(e.amount for e in sink.events) == len(events)
+
+    def test_window_width_ablation(self, benchmark, topo):
+        """DESIGN.md ablation: wider windows compress more; zero-width
+        (coalescing off) writes every event."""
+        events = _storm_events()
+
+        def sweep():
+            written = {}
+            for window in (0.25, 1.0, 5.0):
+                bus = MessageBus()
+                producer = LogProducer(bus, "t")
+                sink = ListSink()
+                with SparkletContext(2) as sc:
+                    ingestor = StreamingIngestor(
+                        bus, "t", sink, sc, batch_interval=window)
+                    producer.publish_events(events)
+                    ingestor.process_available()
+                    ingestor.flush()
+                written[window] = ingestor.stats.written
+            return written
+
+        written = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        report("S3 ablation: coalescing window vs rows written", [
+            ("window (s)", "rows written"),
+            *[(w, n) for w, n in written.items()],
+        ])
+        assert written[5.0] < written[1.0] < written[0.25]
+
+    def test_incremental_visibility(self, benchmark, generator, events):
+        """Events become queryable batch by batch (near-real-time)."""
+        from repro.core import LogAnalyticsFramework
+
+        lines = list(generator.raw_lines(events[:1000]))
+
+        def staged():
+            fw = LogAnalyticsFramework(generator.topology,
+                                       db_nodes=2).setup()
+            bus = MessageBus()
+            producer = LogProducer(bus, "t")
+            ingestor = fw.streaming_ingestor(bus, "t")
+            visible = []
+            half = len(lines) // 2
+            producer.publish_lines(lines[:half])
+            ingestor.process_available()
+            visible.append(fw.sc.cassandraTable("event_by_time").count())
+            producer.publish_lines(lines[half:])
+            ingestor.process_available()
+            ingestor.flush()
+            visible.append(fw.sc.cassandraTable("event_by_time").count())
+            fw.stop()
+            return visible
+
+        visible = benchmark.pedantic(staged, rounds=1, iterations=1)
+        assert visible[0] > 0
+        assert visible[1] > visible[0]

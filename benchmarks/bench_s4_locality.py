@@ -1,0 +1,122 @@
+"""S4 — §III-A: locality-aware task placement vs random placement.
+
+"We selected this configuration to maximize data locality for the
+computation performed by the analytic algorithms."  Two observables:
+
+* remote traffic: records fetched by tasks running away from their
+  partition's primary replica (0 under locality, ~ (n-1)/n of the table
+  under random);
+* wall-clock: with a simulated per-record network cost, the locality
+  policy must win by roughly the remote fraction.
+"""
+
+import time
+
+import pytest
+
+from repro.cassdb import Cluster, TableSchema
+from repro.sparklet import SparkletContext
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def loaded_cluster(events):
+    cluster = Cluster(8, replication_factor=2)
+    cluster.create_table(TableSchema(
+        "ev", partition_key=("hour", "type"), clustering_key=("ts", "seq")))
+    for i, e in enumerate(events):
+        cluster.insert("ev", {"hour": e.hour, "type": e.type, "ts": e.ts,
+                              "seq": i, "amount": e.amount})
+    return cluster
+
+
+def _scan_job(sc):
+    return (
+        sc.cassandraTable("ev")
+        .map(lambda r: (r["type"], r.get("amount", 1)))
+        .reduceByKey(lambda a, b: a + b)
+        .collectAsMap()
+    )
+
+
+class TestRemoteTraffic:
+    def test_locality_policy_zero_remote(self, benchmark, loaded_cluster):
+        sc = SparkletContext(cluster=loaded_cluster, placement="locality")
+
+        def job():
+            sc.reset_metrics()
+            return _scan_job(sc)
+
+        result = benchmark(job)
+        assert result
+        assert sc.metrics.remote_records == 0
+        assert sc.metrics.locality_fraction == 1.0
+        sc.stop()
+
+    def test_random_policy_mostly_remote(self, benchmark, loaded_cluster,
+                                         events):
+        sc = SparkletContext(cluster=loaded_cluster, placement="random")
+
+        def job():
+            sc.reset_metrics()
+            return _scan_job(sc)
+
+        result = benchmark(job)
+        assert result
+        remote_fraction = sc.metrics.remote_records / len(events)
+        report("S4: remote traffic by placement policy", [
+            ("policy", "remote records", "fraction of table"),
+            ("locality", 0, "0%"),
+            ("random", sc.metrics.remote_records,
+             f"{remote_fraction:.0%}"),
+        ])
+        # 8 nodes: a random task is local w.p. 1/8 → ~7/8 remote.
+        assert remote_fraction > 0.5
+        sc.stop()
+
+
+class TestWallClockWithNetworkCost:
+    def test_locality_beats_random(self, benchmark, loaded_cluster, events):
+        """Charge 50 µs per remotely-fetched record (a cheap network);
+        the policies' wall time must separate accordingly."""
+        cost = 50e-6
+
+        def run(policy):
+            sc = SparkletContext(cluster=loaded_cluster, placement=policy,
+                                 remote_read_cost=cost)
+            t0 = time.perf_counter()
+            _scan_job(sc)
+            elapsed = time.perf_counter() - t0
+            remote = sc.metrics.remote_records
+            sc.stop()
+            return elapsed, remote
+
+        t_local, _ = benchmark.pedantic(
+            lambda: run("locality"), rounds=2, iterations=1)
+        t_local, remote_local = run("locality")
+        t_random, remote_random = run("random")
+        report("S4: wall clock with simulated 50 µs/record remote reads", [
+            ("policy", "seconds", "remote records"),
+            ("locality", f"{t_local:.3f}", remote_local),
+            ("random", f"{t_random:.3f}", remote_random),
+            ("speedup", f"{t_random / t_local:.1f}x", ""),
+        ])
+        assert remote_local == 0
+        assert t_random > 1.5 * t_local
+
+
+class TestSplitFactor:
+    def test_split_factor_keeps_locality(self, benchmark, loaded_cluster):
+        """More tasks per node (split_factor) must not break locality."""
+        sc = SparkletContext(cluster=loaded_cluster, placement="locality")
+
+        def job():
+            sc.reset_metrics()
+            return sc.cassandraTable("ev", split_factor=4).count()
+
+        count = benchmark(job)
+        assert count > 0
+        assert sc.metrics.remote_records == 0
+        assert sc.metrics.tasks >= 8  # at least one per node, often more
+        sc.stop()

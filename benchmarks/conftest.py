@@ -1,0 +1,62 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every bench prints the rows/series the corresponding paper artefact
+reports (tables of counts, balance figures, latency breakdowns) and
+asserts the *shape* expectations listed in DESIGN.md §4 — absolute
+numbers are environment-dependent, who-wins and by-roughly-what-factor
+are not.
+"""
+
+import pytest
+
+from repro.core import LogAnalyticsFramework
+from repro.genlog import JobGenerator, LogGenerator
+from repro.titan import TitanTopology
+
+HOURS = 12
+HORIZON = HOURS * 3600.0
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print one experiment's result table (captured by pytest -s)."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   ", " | ".join(str(c) for c in row))
+
+
+@pytest.fixture(scope="session")
+def topo():
+    return TitanTopology(rows=1, cols=2)  # 192 nodes
+
+
+@pytest.fixture(scope="session")
+def generator(topo):
+    return LogGenerator(topo, seed=2017, rate_multiplier=40,
+                        storms_per_day=4)
+
+
+@pytest.fixture(scope="session")
+def events(generator):
+    return generator.generate(HOURS)
+
+
+@pytest.fixture(scope="session")
+def runs(topo):
+    return JobGenerator(topo, seed=2017).generate(HOURS)
+
+
+@pytest.fixture(scope="session")
+def fw(topo, events, runs):
+    framework = LogAnalyticsFramework(topo, db_nodes=4,
+                                      replication_factor=2).setup()
+    framework.ingest_events(events)
+    framework.ingest_applications(runs)
+    yield framework
+    framework.stop()
+
+
+@pytest.fixture(scope="session")
+def raw_log_paths(tmp_path_factory, generator, events):
+    directory = tmp_path_factory.mktemp("benchlogs")
+    paths = generator.write_log_files(directory, events)
+    return sorted(paths.values())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""End-user view: what did the system do to *my* application?
+
+§I: "End users can also visually inspect trends among the system events
+and contention on shared resources that occur during the run of their
+applications.  Through such analysis, the users may find sources of
+performance anomalies…"  This example plays a user ("user003") who had
+jobs abort and wants to know whether the machine was at fault.
+
+Run:  python examples/app_performance_context.py
+"""
+
+from collections import Counter
+
+from repro.core import AnalyticsServer, LogAnalyticsFramework
+from repro.genlog import JobGenerator, LogGenerator
+from repro.titan import TitanTopology
+
+HOURS = 24
+
+
+def main() -> None:
+    topo = TitanTopology(rows=1, cols=2)
+    fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
+    gen = LogGenerator(topo, seed=12, rate_multiplier=40)
+    jobs = JobGenerator(topo, seed=12, num_users=8).generate(HOURS)
+    fw.ingest_events(gen.generate(HOURS))
+    fw.ingest_applications(jobs)
+    server = AnalyticsServer(fw)
+
+    # Pick a user with at least one failed run.
+    user = next(r.user for r in jobs if r.exit_status != "OK")
+    horizon = HOURS * 3600.0
+
+    # -- the user/application map: my runs -------------------------------
+    my_ctx = fw.context(0, horizon, user=user)
+    my_runs = fw.runs(my_ctx)
+    by_status = Counter(r["exit_status"] for r in my_runs)
+    print(f"runs of {user}: {len(my_runs)} total, {dict(by_status)}")
+    failed = [r for r in my_runs if r["exit_status"] != "OK"]
+
+    for run in failed[:3]:
+        print(f"\n--- {run['app']} (apid {run['apid']}, "
+              f"{run['num_nodes']} nodes, status {run['exit_status']}) ---")
+        nodes = fw.model.run_nodes(run)
+        run_ctx = fw.context(
+            max(0.0, run["start"]), min(horizon, run["end"] + 1),
+            sources=tuple(nodes),
+        )
+        events = fw.events(run_ctx)
+        census = Counter(e["type"] for e in events)
+        print(f"  system events on my {len(nodes)} nodes during the run: "
+              f"{dict(census) or 'none'}")
+        fatal = [e for e in events
+                 if e["type"] in ("DRAM_UE", "KERNEL_PANIC",
+                                  "HEARTBEAT_FAULT", "GPU_DBE",
+                                  "GPU_OFF_BUS", "LBUG")]
+        if fatal:
+            first = fatal[0]
+            print(f"  ! fatal event {first['type']} on {first['source']} "
+                  f"at t={first['ts']:.0f}s — likely the node failure")
+        else:
+            print("  no fatal system events: the abort was probably "
+                  "the application's own doing")
+
+    # -- contention on shared resources -----------------------------------
+    # Whose applications absorbed the most Lustre errors system-wide?
+    lustre = fw.context(0, horizon, event_types=("LUSTRE_ERR",))
+    print("\nLUSTRE_ERR by application (shared-filesystem contention):")
+    for app, count in fw.distribution_by_application(lustre)[:6]:
+        print(f"  {app:<14} {count}")
+
+    # -- the same questions through the analytics server -------------------
+    response = server.handle_sync({
+        "op": "runs", "context": my_ctx.to_json(),
+    })
+    print(f"\nserver check: op=runs ok={response['ok']} "
+          f"rows={len(response['result'])} "
+          f"elapsed={response['elapsed_ms']:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Reproduces the paper's Fig-7 investigation, end to end.
+
+Scenario (§III-C): "tens of thousands [of] Lustre error messages were
+generated … a system wide event that lasted several minutes afflicting
+most of compute nodes".  The root cause is a single unresponsive object
+storage target (OST), and the paper shows that text analytics over the
+raw messages locates it.
+
+Workflow reproduced here:
+
+1. the temporal map shows a spike of LUSTRE_ERR events;
+2. the user narrows the context to the spike;
+3. transfer entropy confirms the storm is not driven by, e.g., network
+   congestion (Fig 7 top shows the TE plot between two event types);
+4. word count / TF-IDF over the raw messages of the window surfaces the
+   failing OST as the dominant "word bubble" (Fig 7 bottom).
+
+Run:  python examples/lustre_storm_investigation.py
+"""
+
+import numpy as np
+
+from repro.core import LogAnalyticsFramework
+from repro.genlog import LogGenerator
+from repro.titan import TitanTopology
+
+HOURS = 12
+
+
+def main() -> None:
+    topo = TitanTopology(rows=1, cols=2)
+    fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
+    gen = LogGenerator(topo, seed=2017, rate_multiplier=30, storms_per_day=3)
+    events = gen.generate(HOURS)
+    fw.ingest_events(events)
+    print(f"ingested {len(events)} events "
+          f"({sum(1 for e in events if e.type == 'LUSTRE_ERR')} Lustre)\n")
+
+    # -- 1. The wide temporal view: something is wrong. -----------------
+    wide = fw.context(0, HOURS * 3600, event_types=("LUSTRE_ERR",))
+    edges, counts = fw.time_histogram(wide, num_bins=48)
+    print("LUSTRE_ERR temporal map:")
+    print(fw.render_temporal_map(wide, num_bins=12))
+
+    # -- 2. Narrow to the spike (repeated sub-interval selection). ------
+    spike = int(np.argmax(counts))
+    storm_ctx = wide.narrow_time(edges[spike], edges[spike + 1])
+    n_events = len(fw.events(storm_ctx))
+    afflicted = len(fw.heatmap(storm_ctx, "node"))
+    print(f"\nzoomed to [{storm_ctx.t0:.0f}s, {storm_ctx.t1:.0f}s): "
+          f"{n_events} Lustre events on {afflicted}/{topo.num_nodes} nodes")
+    print("→ a system-wide event, not a single sick node\n")
+
+    # -- 3. Fig 7 (top): transfer entropy between event types. ----------
+    te_ctx = fw.context(0, HOURS * 3600)
+    for other in ("NET_THROTTLE", "DVS_ERR"):
+        result = fw.transfer_entropy(te_ctx, other, "LUSTRE_ERR",
+                                     bin_seconds=60, n_shuffles=100)
+        verdict = "significant" if result.p_value < 0.05 else "not significant"
+        print(f"TE({other} → LUSTRE_ERR) = {result.te_forward:.4f} bits "
+              f"(reverse {result.te_reverse:.4f}, p={result.p_value:.3f}, "
+              f"{verdict})")
+    print("→ no external driver: look inside the filesystem messages\n")
+
+    # -- 4. Fig 7 (bottom): word bubbles over the raw messages. ---------
+    print(fw.render_word_bubbles(storm_ctx, n=6))
+    top = fw.keywords(storm_ctx, n=1)[0][0]
+
+    truth = [s for s in gen.ground_truth.storms
+             if s.start <= storm_ctx.t0 <= s.start + s.duration
+             or storm_ctx.t0 <= s.start < storm_ctx.t1]
+    if truth:
+        print(f"\nground truth: storm OST was {truth[0].ost}")
+        print(f"text analytics found:        {top}")
+        assert top == truth[0].ost.lower(), "failed to locate the OST!"
+        print("→ the object storage target not responding was located "
+              "from raw logs alone")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: stand up the log analytics framework and look around.
+
+Builds a small slice of Titan (2 cabinets = 192 nodes), generates six
+hours of synthetic logs and a job history, ingests both, and walks the
+basic §III-B interactions: synopsis, temporal map, spatial heat map,
+hot-spot detection, and a context zoom-in.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LogAnalyticsFramework
+from repro.genlog import JobGenerator, LogGenerator
+from repro.titan import TitanTopology
+
+HOURS = 6
+
+
+def main() -> None:
+    # 1. The machine being monitored and the framework deployment:
+    #    4 DB nodes, replication factor 2, one engine worker per node.
+    topo = TitanTopology(rows=1, cols=2)
+    fw = LogAnalyticsFramework(topo, db_nodes=4, replication_factor=2).setup()
+    print(f"machine: {topo.num_cabinets} cabinets, {topo.num_nodes} nodes")
+    print(f"backend: {len(fw.cluster.nodes)} DB nodes, "
+          f"RF={fw.cluster.keyspace.replication_factor}")
+
+    # 2. Synthetic telemetry (substitute for Titan's real logs).
+    gen = LogGenerator(topo, seed=42, rate_multiplier=40)
+    events = gen.generate(HOURS)
+    runs = JobGenerator(topo, seed=42).generate(HOURS)
+    fw.ingest_events(events)
+    fw.ingest_applications(runs)
+    print(f"ingested {len(events)} events, {len(runs)} application runs\n")
+
+    # 3. Per-hour synopsis (engine aggregation job).
+    fw.refresh_synopsis()
+    print("hour 0 synopsis (top 5 types):")
+    for row in sorted(fw.model.synopsis_for_hour(0),
+                      key=lambda r: -r["occurrences"])[:5]:
+        print(f"  {row['type']:<18} {row['occurrences']:>5} occurrences")
+
+    # 4. A context: machine check exceptions over the whole window.
+    ctx = fw.context(0, HOURS * 3600, event_types=("MCE",))
+    print("\ntemporal map (MCE):")
+    print(fw.render_temporal_map(ctx, num_bins=6))
+
+    print("\nphysical system map (MCE heat):")
+    print(fw.render_heatmap(ctx, title="MCE occurrences by cabinet"))
+
+    # 5. Which nodes are abnormally hot? (Fig 5 bottom)
+    print("\nhot nodes (z >= 4):")
+    for hotspot in fw.hotspots(ctx):
+        print(f"  {hotspot.component}: {hotspot.count} events "
+              f"(expected ~{hotspot.expected:.1f}, z={hotspot.z_score:.1f})")
+    print(f"  ground truth hot nodes: "
+          f"{sorted(gen.ground_truth.hot_nodes['MCE'])}")
+
+    # 6. Zoom into one hot node's raw log (the tabular map).
+    hot = fw.hotspots(ctx)
+    if hot:
+        node_ctx = ctx.with_sources(hot[0].component)
+        print(f"\nraw log entries on {hot[0].component}:")
+        print(fw.render_raw_log_table(node_ctx, max_rows=5))
+
+
+if __name__ == "__main__":
+    main()

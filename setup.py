@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot take the PEP 517/660 path; this file lets pip fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Big Data Meets HPC Log Analytics: Scalable
+Approach to Understanding Systems at Extreme Scale" (Park, Hukerikar,
+Adamson, Engelmann — CLUSTER 2017 / arXiv:1708.06884).
+
+Subpackages
+-----------
+``repro.cassdb``
+    Cassandra-model distributed NoSQL store (ring, replication, LSM,
+    CQL subset).
+``repro.sparklet``
+    Spark-model in-memory DAG engine (RDDs, shuffles, locality,
+    streaming).
+``repro.bus``
+    Kafka-model message bus (topics, consumer groups, offsets).
+``repro.titan``
+    Titan machine model: topology and event catalogue.
+``repro.genlog``
+    Synthetic log/workload generation (the proprietary-data substitute).
+``repro.ingest``
+    Batch and streaming ETL.
+``repro.core``
+    The paper's contribution: data model, contexts, analytics,
+    frontend renderers, analytics server, and the
+    :class:`~repro.core.framework.LogAnalyticsFramework` facade.
+
+Quickstart
+----------
+>>> from repro.core import LogAnalyticsFramework
+>>> from repro.titan import TitanTopology
+>>> from repro.genlog import LogGenerator
+>>> topo = TitanTopology(rows=1, cols=1)
+>>> fw = LogAnalyticsFramework(topo).setup()
+>>> events = LogGenerator(topo, rate_multiplier=30).generate(6)
+>>> fw.ingest_events(events)  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

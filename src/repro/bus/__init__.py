@@ -1,0 +1,20 @@
+"""bus — a Kafka-model message bus (in-process).
+
+Topics with partitioned append-only offset logs, keyed publishing,
+consumer groups with rebalancing and committed offsets.  Stands in for
+the OLCF's Kafka/OpenShift deployment in the paper's streaming-ingest
+path (§III-D).
+"""
+
+from .broker import MessageBus, Record, Topic
+from .consumer import Consumer, ConsumerGroup
+from .producer import Producer
+
+__all__ = [
+    "Consumer",
+    "ConsumerGroup",
+    "MessageBus",
+    "Producer",
+    "Record",
+    "Topic",
+]

@@ -1,0 +1,98 @@
+"""Consumer groups with partition assignment and offset commits.
+
+Mirrors Kafka's consumer-group contract: the partitions of a topic are
+divided among the group's live members (range assignment); each member
+polls records from its partitions starting at the group's committed
+offset and commits after processing.  Members joining or leaving
+trigger a rebalance.  Records processed but not committed before a
+"crash" are redelivered to the next assignee — the at-least-once
+behaviour the streaming ingest pipeline has to coalesce away.
+"""
+
+from __future__ import annotations
+
+from .broker import MessageBus, Record
+
+__all__ = ["ConsumerGroup", "Consumer"]
+
+
+class ConsumerGroup:
+    """Coordinates partition assignment for one (group, topic) pair."""
+
+    def __init__(self, bus: MessageBus, group_id: str, topic: str):
+        self.bus = bus
+        self.group_id = group_id
+        self.topic = topic
+        self._members: list["Consumer"] = []
+        self.rebalances = 0
+
+    def join(self) -> "Consumer":
+        consumer = Consumer(self)
+        self._members.append(consumer)
+        self._rebalance()
+        return consumer
+
+    def leave(self, consumer: "Consumer") -> None:
+        self._members.remove(consumer)
+        consumer._assigned = []
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        self.rebalances += 1
+        n = self.bus.topic(self.topic).num_partitions
+        members = self._members
+        for member in members:
+            member._assigned = []
+            member._positions = {}
+        if not members:
+            return
+        for p in range(n):
+            members[p % len(members)]._assigned.append(p)
+
+    @property
+    def members(self) -> list["Consumer"]:
+        return list(self._members)
+
+    def lag(self) -> int:
+        return self.bus.lag(self.group_id, self.topic)
+
+
+class Consumer:
+    """One group member: polls its assigned partitions, commits offsets."""
+
+    def __init__(self, group: ConsumerGroup):
+        self.group = group
+        self._assigned: list[int] = []
+        # Uncommitted read positions (reset to committed on rebalance).
+        self._positions: dict[int, int] = {}
+
+    @property
+    def assignment(self) -> list[int]:
+        return list(self._assigned)
+
+    def poll(self, max_records: int = 1000) -> list[Record]:
+        """Fetch up to *max_records* across assigned partitions, in
+        partition order, advancing the in-memory (uncommitted) position."""
+        bus = self.group.bus
+        out: list[Record] = []
+        budget = max_records
+        for p in self._assigned:
+            if budget <= 0:
+                break
+            pos = self._positions.get(
+                p, bus.committed(self.group.group_id, self.group.topic, p)
+            )
+            records = bus.fetch(self.group.topic, p, pos, budget)
+            if records:
+                self._positions[p] = records[-1].offset + 1
+                out.extend(records)
+                budget -= len(records)
+        return out
+
+    def commit(self) -> None:
+        """Commit every polled position (post-processing acknowledgment)."""
+        for p, pos in self._positions.items():
+            self.group.bus.commit(self.group.group_id, self.group.topic, p, pos)
+
+    def close(self) -> None:
+        self.group.leave(self)

@@ -1,0 +1,465 @@
+"""The simulated Cassandra cluster: coordination, replication, consistency.
+
+This is the "backend distributed NoSQL database" of the paper's
+architecture (Fig 3).  A :class:`Cluster` owns the ring, the storage
+nodes and the keyspace, and implements the coordinator logic every
+Cassandra node runs:
+
+* writes go to all replicas of the partition key; the coordinator waits
+  for ``consistency`` acks and buffers *hints* for replicas that are
+  down (hinted handoff, replayed when the replica recovers);
+* reads query ``consistency`` replicas, reconcile divergent rows by
+  cell timestamp and write repaired rows back (read repair);
+* ``UnavailableError`` / ``WriteTimeoutError`` / ``ReadTimeoutError``
+  reproduce the driver-visible failure modes.
+
+The cluster is in-process: "nodes" are Python objects and "the network"
+is a method call, but placement, replication and consistency semantics
+are the real ones — which is what the paper's schema design (§II-B) and
+the locality-aware analytics (§III-A, Fig 4) depend on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from enum import Enum
+from typing import Any, Iterable, Mapping, Sequence
+
+from .errors import (
+    NodeDownError,
+    ReadTimeoutError,
+    SchemaError,
+    UnavailableError,
+    WriteTimeoutError,
+)
+from .hashring import HashRing
+from .node import Hint, StorageNode
+from .row import ClusteringBound, Row, merge_rows
+from .schema import Keyspace, TableSchema
+
+__all__ = ["Consistency", "Cluster"]
+
+
+class Consistency(Enum):
+    """Tunable consistency levels (the subset the paper's workload needs)."""
+
+    ONE = "ONE"
+    TWO = "TWO"
+    QUORUM = "QUORUM"
+    ALL = "ALL"
+
+    def required(self, replication_factor: int) -> int:
+        if self is Consistency.ONE:
+            return 1
+        if self is Consistency.TWO:
+            return min(2, replication_factor)
+        if self is Consistency.QUORUM:
+            return replication_factor // 2 + 1
+        return replication_factor
+
+
+def _now_us() -> int:
+    return time.time_ns() // 1_000
+
+
+class Cluster:
+    """A masterless ring of storage nodes hosting one keyspace."""
+
+    def __init__(
+        self,
+        node_ids: Sequence[str] | int = 4,
+        *,
+        replication_factor: int = 1,
+        vnodes: int = 64,
+        keyspace: str = "logs",
+        flush_threshold: int = 50_000,
+        max_sstables: int = 8,
+    ):
+        if isinstance(node_ids, int):
+            node_ids = [f"node{i:02d}" for i in range(node_ids)]
+        node_ids = list(node_ids)
+        if replication_factor > len(node_ids):
+            raise ValueError("replication_factor cannot exceed node count")
+        self.keyspace = Keyspace(keyspace, replication_factor=replication_factor)
+        self.ring = HashRing(
+            node_ids, vnodes=vnodes, replication_factor=replication_factor
+        )
+        self.nodes: dict[str, StorageNode] = {
+            nid: StorageNode(
+                nid, flush_threshold=flush_threshold, max_sstables=max_sstables
+            )
+            for nid in node_ids
+        }
+        self._write_ts = itertools.count(_now_us())
+        # Coordinator operations may be issued concurrently from sparklet
+        # task threads; one coarse lock keeps the in-process data
+        # structures consistent (it serializes, it does not change
+        # semantics — the real system's concurrency control lives inside
+        # each C* node).
+        self._op_lock = threading.RLock()
+        # Aggregate coordinator counters (S1 bench reads these).
+        self.coordinator_writes = 0
+        self.coordinator_reads = 0
+        self.hinted_writes = 0
+        self.read_repairs = 0
+
+    # -- schema -----------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> TableSchema:
+        return self.keyspace.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        self.keyspace.drop_table(name)
+        for node in self.nodes.values():
+            node.drop_table(name)
+
+    def schema(self, table: str) -> TableSchema:
+        return self.keyspace.table(table)
+
+    # -- membership / failure simulation -----------------------------------
+
+    def alive_nodes(self) -> list[str]:
+        return [nid for nid, n in self.nodes.items() if n.up]
+
+    def kill_node(self, node_id: str) -> None:
+        """Simulate a node failure (data retained, requests refused)."""
+        self.nodes[node_id].mark_down()
+
+    def revive_node(self, node_id: str) -> None:
+        """Bring a node back and replay hints buffered for it cluster-wide."""
+        node = self.nodes[node_id]
+        node.mark_up()
+        for peer in self.nodes.values():
+            if peer is node or not peer.up:
+                continue
+            for hint in peer.drain_hints_for(node_id):
+                node.write(hint.table, hint.partition_key, hint.row)
+
+    # -- write path ---------------------------------------------------------
+
+    def next_write_ts(self) -> int:
+        return next(self._write_ts)
+
+    def insert(
+        self,
+        table: str,
+        values: Mapping[str, Any],
+        consistency: Consistency = Consistency.ONE,
+        write_ts: int | None = None,
+    ) -> None:
+        """Insert/upsert one row (CQL ``INSERT`` semantics: always upsert)."""
+        schema = self.schema(table)
+        pk = schema.partition_key_of(values)
+        clustering = schema.clustering_of(values)
+        ts = self.next_write_ts() if write_ts is None else write_ts
+        # Key columns are stored positionally (in the partition key string
+        # and clustering tuple); only regular columns become cells.
+        row = Row.from_values(clustering, schema.regular_columns(values), ts)
+        self._replicated_write(table, pk, row, consistency)
+
+    def insert_many(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, Any]],
+        consistency: Consistency = Consistency.ONE,
+    ) -> int:
+        """Bulk upsert; returns the number of rows written."""
+        n = 0
+        for values in rows:
+            self.insert(table, values, consistency)
+            n += 1
+        return n
+
+    def delete_row(
+        self,
+        table: str,
+        values: Mapping[str, Any],
+        consistency: Consistency = Consistency.ONE,
+    ) -> None:
+        """Delete one row identified by its full primary key."""
+        schema = self.schema(table)
+        pk = schema.partition_key_of(values)
+        clustering = schema.clustering_of(values)
+        ts = self.next_write_ts()
+        marker = Row(clustering=clustering, cells={}, tombstone_ts=ts)
+        self._replicated_write(table, pk, marker, consistency)
+
+    def _replicated_write(
+        self, table: str, partition_key: str, row: Row, consistency: Consistency
+    ) -> None:
+        with self._op_lock:
+            self._replicated_write_locked(table, partition_key, row, consistency)
+
+    def _replicated_write_locked(
+        self, table: str, partition_key: str, row: Row, consistency: Consistency
+    ) -> None:
+        self.coordinator_writes += 1
+        replicas = self.ring.replicas(partition_key)
+        required = consistency.required(len(replicas))
+        alive = [r for r in replicas if self.nodes[r].up]
+        if len(alive) < required:
+            raise UnavailableError(required, len(alive))
+        coordinator = self.nodes[alive[0]]
+        acks = 0
+        for replica_id in replicas:
+            replica = self.nodes[replica_id]
+            if replica.up:
+                replica.write(table, partition_key, row)
+                acks += 1
+            else:
+                coordinator.buffer_hint(
+                    Hint(replica_id, table, partition_key, row)
+                )
+                self.hinted_writes += 1
+        if acks < required:  # pragma: no cover - guarded by Unavailable above
+            raise WriteTimeoutError(required, acks)
+
+    # -- read path ------------------------------------------------------------
+
+    def select_partition(
+        self,
+        table: str,
+        partition_values: Sequence[Any] | Mapping[str, Any],
+        *,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+        consistency: Consistency = Consistency.ONE,
+    ) -> list[dict[str, Any]]:
+        """Read rows of one partition as plain dicts, in clustering order.
+
+        This is *the* fast path the data model is built around: a context
+        query (hour+type, hour+source, …) touches exactly one partition.
+        """
+        schema = self.schema(table)
+        if isinstance(partition_values, Mapping):
+            pk = schema.partition_key_of(partition_values)
+            pk_values: Mapping[str, Any] = {
+                c: partition_values[c] for c in schema.partition_key
+            }
+        else:
+            pk = schema.partition_key_from_tuple(partition_values)
+            pk_values = dict(zip(schema.partition_key, partition_values))
+        rows = self._replicated_read(
+            table, pk, lower, upper, reverse, limit, consistency
+        )
+        return [
+            schema.rehydrate(pk_values, r.clustering, r.as_dict()) for r in rows
+        ]
+
+    def _replicated_read(
+        self,
+        table: str,
+        partition_key: str,
+        lower: ClusteringBound | None,
+        upper: ClusteringBound | None,
+        reverse: bool,
+        limit: int | None,
+        consistency: Consistency,
+    ) -> list[Row]:
+        with self._op_lock:
+            return self._replicated_read_locked(
+                table, partition_key, lower, upper, reverse, limit, consistency
+            )
+
+    def _replicated_read_locked(
+        self,
+        table: str,
+        partition_key: str,
+        lower: ClusteringBound | None,
+        upper: ClusteringBound | None,
+        reverse: bool,
+        limit: int | None,
+        consistency: Consistency,
+    ) -> list[Row]:
+        self.coordinator_reads += 1
+        replicas = self.ring.replicas(partition_key)
+        required = consistency.required(len(replicas))
+        alive = [r for r in replicas if self.nodes[r].up]
+        if len(alive) < required:
+            raise UnavailableError(required, len(alive))
+        responses: dict[str, list[Row]] = {}
+        for replica_id in alive[:required]:
+            try:
+                responses[replica_id] = self.nodes[replica_id].read_partition(
+                    table, partition_key, lower, upper, reverse, limit
+                )
+            except NodeDownError:  # raced with a kill; treat as no response
+                pass
+        if len(responses) < required:
+            raise ReadTimeoutError(required, len(responses))
+        merged = self._reconcile_reads(table, partition_key, responses)
+        # Re-apply ordering and limit after reconciliation: replicas may
+        # have returned different row subsets.
+        merged.sort(key=lambda r: r.clustering, reverse=reverse)
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def _reconcile_reads(
+        self, table: str, partition_key: str, responses: dict[str, list[Row]]
+    ) -> list[Row]:
+        if len(responses) == 1:
+            rows = next(iter(responses.values()))
+            return [r for r in rows if r.is_live]
+        merged: dict[tuple, Row] = {}
+        for rows in responses.values():
+            for row in rows:
+                existing = merged.get(row.clustering)
+                merged[row.clustering] = (
+                    row if existing is None else merge_rows(existing, row)
+                )
+        # Read repair: push the reconciled row back to replicas that
+        # returned a stale or missing copy.
+        for replica_id, rows in responses.items():
+            have = {r.clustering: r for r in rows}
+            for clustering, row in merged.items():
+                stale = have.get(clustering)
+                if stale is None or stale.cells != row.cells:
+                    self.nodes[replica_id].write(table, partition_key, row)
+                    self.read_repairs += 1
+        return [r for r in merged.values() if r.is_live]
+
+    # -- full scans & placement introspection ---------------------------------
+
+    def scan_table(self, table: str) -> Iterable[dict[str, Any]]:
+        """Yield every live row of a table (analytics full-scan path).
+
+        Reads each partition once via its first *alive* replica.  This is
+        the slow path the paper routes through Spark instead; sparklet's
+        ``cassandraTable`` uses :meth:`partitions_by_node` to do the same
+        scan with locality.
+        """
+        schema = self.schema(table)
+        for pk in sorted(self.partition_keys(table)):
+            pk_values = schema.partition_values_from_key(pk)
+            replicas = self.ring.replicas(pk)
+            for replica_id in replicas:
+                node = self.nodes[replica_id]
+                if not node.up:
+                    continue
+                for row in node.read_partition(table, pk):
+                    yield schema.rehydrate(pk_values, row.clustering, row.as_dict())
+                break
+
+    def partition_keys(self, table: str) -> set[str]:
+        keys: set[str] = set()
+        for node in self.nodes.values():
+            keys.update(node.partition_keys(table))
+        return keys
+
+    def partitions_by_node(self, table: str) -> dict[str, set[str]]:
+        """Map node id -> partition keys whose *primary* replica it holds.
+
+        The sparklet scheduler uses this to co-locate tasks with data
+        (paper §III-A: "By associating local partitions with the same
+        local Spark worker, the big data processing unit performs
+        analytics efficiently").
+        """
+        out: dict[str, set[str]] = {nid: set() for nid in self.nodes}
+        for pk in self.partition_keys(table):
+            out[self.ring.primary(pk)].add(pk)
+        return out
+
+    def read_partition_raw(
+        self, table: str, partition_key: str
+    ) -> list[dict[str, Any]]:
+        """Locality read: fetch one partition by ring key from any alive
+        replica, rehydrated to plain dicts (sparklet task input)."""
+        with self._op_lock:
+            return self._read_partition_raw_locked(table, partition_key)
+
+    def _read_partition_raw_locked(
+        self, table: str, partition_key: str
+    ) -> list[dict[str, Any]]:
+        schema = self.schema(table)
+        pk_values = schema.partition_values_from_key(partition_key)
+        for replica_id in self.ring.replicas(partition_key):
+            node = self.nodes[replica_id]
+            if not node.up:
+                continue
+            return [
+                schema.rehydrate(pk_values, r.clustering, r.as_dict())
+                for r in node.read_partition(table, partition_key)
+            ]
+        raise UnavailableError(1, 0)
+
+    # -- anti-entropy repair -----------------------------------------------
+
+    @staticmethod
+    def _partition_digest(rows: list[Row]) -> str:
+        """Content digest of a replica's copy of a partition (the role
+        Merkle trees play in Cassandra's repair)."""
+        import hashlib
+
+        h = hashlib.md5()
+        for row in rows:
+            h.update(repr(row.clustering).encode())
+            h.update(repr(row.tombstone_ts).encode())
+            for name in sorted(row.cells):
+                cell = row.cells[name]
+                h.update(name.encode())
+                h.update(repr(cell.value).encode())
+                h.update(str(cell.write_ts).encode())
+        return h.hexdigest()
+
+    def repair(self, table: str) -> int:
+        """Full anti-entropy repair of one table.
+
+        For every partition, compare the content digests of all live
+        replicas; where they diverge, merge every copy (cell-level
+        last-write-wins) and write the merged partition back to each
+        replica.  Returns the number of partitions that needed repair.
+        Unlike read repair this covers data nobody has queried —
+        Cassandra's ``nodetool repair``.
+        """
+        with self._op_lock:
+            repaired = 0
+            for pk in sorted(self.partition_keys(table)):
+                replicas = [
+                    rid for rid in self.ring.replicas(pk)
+                    if self.nodes[rid].up
+                ]
+                if len(replicas) < 2:
+                    continue
+                copies = {
+                    rid: self.nodes[rid].read_partition(table, pk)
+                    for rid in replicas
+                }
+                digests = {
+                    rid: self._partition_digest(rows)
+                    for rid, rows in copies.items()
+                }
+                if len(set(digests.values())) == 1:
+                    continue
+                merged: dict[tuple, Row] = {}
+                for rows in copies.values():
+                    for row in rows:
+                        existing = merged.get(row.clustering)
+                        merged[row.clustering] = (
+                            row if existing is None
+                            else merge_rows(existing, row)
+                        )
+                for rid in replicas:
+                    have = {r.clustering: r for r in copies[rid]}
+                    node = self.nodes[rid]
+                    for clustering, row in merged.items():
+                        mine = have.get(clustering)
+                        if mine is None or self._partition_digest(
+                                [mine]) != self._partition_digest([row]):
+                            node.write(table, pk, row)
+                repaired += 1
+            return repaired
+
+    def flush_all(self) -> None:
+        """Flush every memtable on every node (test/bench determinism aid)."""
+        for node in self.nodes.values():
+            for store in node.tables.values():
+                store.flush()
+
+    def total_rows(self, table: str) -> int:
+        """Live rows in *table* counted once (via scan; O(data))."""
+        return sum(1 for _ in self.scan_table(table))

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Cassandra-model store.
+
+The real Cassandra driver distinguishes coordinator-side failures
+(``Unavailable``: not enough live replicas to even attempt the operation)
+from request-time failures (``WriteTimeout`` / ``ReadTimeout``: the
+operation was attempted but too few replicas responded).  We keep the same
+taxonomy because the cluster tests and the S1 scalability bench exercise
+both paths.
+"""
+
+from __future__ import annotations
+
+
+class CassDBError(Exception):
+    """Base class for all cassdb errors."""
+
+
+class SchemaError(CassDBError):
+    """Table/keyspace definition is invalid or violated by a statement."""
+
+
+class UnknownTableError(SchemaError):
+    """A statement referenced a table that does not exist."""
+
+    def __init__(self, table: str):
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class InvalidQueryError(CassDBError):
+    """A CQL statement could not be parsed or planned."""
+
+
+class UnavailableError(CassDBError):
+    """Not enough live replicas to satisfy the requested consistency level.
+
+    Raised by the coordinator *before* performing any replica operation,
+    mirroring Cassandra's ``UnavailableException``.
+    """
+
+    def __init__(self, required: int, alive: int):
+        super().__init__(
+            f"cannot achieve consistency: {required} replicas required, "
+            f"{alive} alive"
+        )
+        self.required = required
+        self.alive = alive
+
+
+class WriteTimeoutError(CassDBError):
+    """Fewer than the required number of replicas acknowledged a write."""
+
+    def __init__(self, required: int, received: int):
+        super().__init__(
+            f"write timeout: required {required} acks, received {received}"
+        )
+        self.required = required
+        self.received = received
+
+
+class ReadTimeoutError(CassDBError):
+    """Fewer than the required number of replicas answered a read."""
+
+    def __init__(self, required: int, received: int):
+        super().__init__(
+            f"read timeout: required {required} responses, received {received}"
+        )
+        self.required = required
+        self.received = received
+
+
+class NodeDownError(CassDBError):
+    """An operation was sent directly to a node that is marked down."""
+
+    def __init__(self, node_id: str):
+        super().__init__(f"node {node_id} is down")
+        self.node_id = node_id

@@ -1,0 +1,163 @@
+"""Gossip-based membership and phi-accrual failure detection.
+
+Cassandra nodes learn each other's liveness by gossiping heartbeat
+versions and judging each peer with a *phi accrual failure detector*
+(Hayashibara et al.): instead of a binary timeout, each node keeps a
+sliding window of heartbeat inter-arrival times and computes
+
+    phi(t) = -log10( P[ next heartbeat arrives after t ] )
+
+under an exponential model of the observed inter-arrival distribution.
+A peer is *convicted* (marked down) when phi exceeds a threshold
+(Cassandra's default ``phi_convict_threshold = 8``).
+
+This module drives the simulated cluster's liveness from a logical
+clock: heartbeats are recorded as they "arrive", and conviction follows
+from their statistics — so tests can model flaky links, slow nodes and
+crashes without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+__all__ = ["HeartbeatHistory", "PhiAccrualDetector", "GossipRunner"]
+
+
+class HeartbeatHistory:
+    """Sliding window of heartbeat inter-arrival times for one peer."""
+
+    def __init__(self, window: int = 100, bootstrap_interval: float = 1.0):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self._intervals: deque[float] = deque(maxlen=window)
+        self._last: float | None = None
+        # Until real samples accumulate, assume the nominal interval so
+        # brand-new peers aren't instantly convicted.
+        self._bootstrap = bootstrap_interval
+
+    def record(self, timestamp: float) -> None:
+        if self._last is not None:
+            delta = timestamp - self._last
+            if delta < 0:
+                raise ValueError("heartbeats must arrive in time order")
+            self._intervals.append(delta)
+        self._last = timestamp
+
+    @property
+    def last_heartbeat(self) -> float | None:
+        return self._last
+
+    @property
+    def mean_interval(self) -> float:
+        if not self._intervals:
+            return self._bootstrap
+        return sum(self._intervals) / len(self._intervals)
+
+    def phi(self, now: float) -> float:
+        """Suspicion level at time *now* (0 = just heard from it)."""
+        if self._last is None:
+            return 0.0  # never heard: not yet suspected (bootstrapping)
+        elapsed = max(0.0, now - self._last)
+        mean = max(self.mean_interval, 1e-9)
+        # Exponential model: P[arrival > t] = exp(-t/mean);
+        # phi = -log10 of that = t / (mean ln 10).
+        return elapsed / (mean * math.log(10.0))
+
+
+@dataclass
+class PhiAccrualDetector:
+    """Failure detector over many peers."""
+
+    threshold: float = 8.0
+    window: int = 100
+    bootstrap_interval: float = 1.0
+    histories: dict[str, HeartbeatHistory] = field(default_factory=dict)
+
+    def heartbeat(self, peer: str, timestamp: float) -> None:
+        history = self.histories.get(peer)
+        if history is None:
+            history = self.histories[peer] = HeartbeatHistory(
+                self.window, self.bootstrap_interval
+            )
+        history.record(timestamp)
+
+    def phi(self, peer: str, now: float) -> float:
+        history = self.histories.get(peer)
+        return 0.0 if history is None else history.phi(now)
+
+    def is_alive(self, peer: str, now: float) -> bool:
+        return self.phi(peer, now) < self.threshold
+
+    def suspected(self, now: float) -> list[str]:
+        return sorted(
+            peer for peer in self.histories
+            if not self.is_alive(peer, now)
+        )
+
+
+class GossipRunner:
+    """Drives a cluster's liveness flags from simulated heartbeats.
+
+    Every ``interval`` logical seconds each *actually-up* node emits a
+    heartbeat; :meth:`tick` delivers them (unless the node is crashed or
+    the delivery is dropped by the loss model) and then convicts /
+    rehabilitates nodes on the cluster according to phi.
+    """
+
+    def __init__(self, cluster: "Cluster", *, interval: float = 1.0,
+                 threshold: float = 8.0, loss_rate: float = 0.0,
+                 seed: int = 31):
+        import random
+
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.cluster = cluster
+        self.interval = interval
+        self.detector = PhiAccrualDetector(
+            threshold=threshold, bootstrap_interval=interval
+        )
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.now = 0.0
+        self.crashed: set[str] = set()
+        self.convictions: list[tuple[str, float]] = []
+
+    def crash(self, node_id: str) -> None:
+        """The node stops heartbeating (the cluster doesn't know yet)."""
+        self.crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        self.crashed.discard(node_id)
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance the logical clock by whole heartbeat intervals."""
+        for _ in range(steps):
+            self.now += self.interval
+            for node_id in self.cluster.nodes:
+                if node_id in self.crashed:
+                    continue
+                if self.loss_rate and self._rng.random() < self.loss_rate:
+                    continue  # heartbeat lost in the "network"
+                self.detector.heartbeat(node_id, self.now)
+            self._apply_liveness()
+
+    def _apply_liveness(self) -> None:
+        for node_id, node in self.cluster.nodes.items():
+            alive = self.detector.is_alive(node_id, self.now)
+            if node.up and not alive:
+                self.cluster.kill_node(node_id)
+                self.convictions.append((node_id, self.now))
+            elif not node.up and alive and node_id not in self.crashed:
+                # Fresh heartbeats rehabilitate: replay hints via the
+                # cluster's normal revive path.
+                self.cluster.revive_node(node_id)
+
+    def phi(self, node_id: str) -> float:
+        return self.detector.phi(node_id, self.now)

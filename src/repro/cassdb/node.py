@@ -1,0 +1,120 @@
+"""A storage node: one member of the masterless ring.
+
+Every node is identical in role (paper §II-A: "unlike a legacy
+master-slave architecture gives an identical role to each node"); any
+node can coordinate any request.  A node owns one :class:`TableStore`
+per table for the replicas placed on it, plus a liveness flag the
+cluster flips to simulate failures, and a hint buffer for writes it
+must replay to peers that were down (hinted handoff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import NodeDownError
+from .row import ClusteringBound, Row
+from .storage import TableStore
+
+__all__ = ["Hint", "StorageNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class Hint:
+    """A buffered write destined for a replica that was down."""
+
+    target_node: str
+    table: str
+    partition_key: str
+    row: Row
+
+
+class StorageNode:
+    """One simulated Cassandra node."""
+
+    def __init__(self, node_id: str, *, flush_threshold: int = 50_000,
+                 max_sstables: int = 8):
+        self.node_id = node_id
+        self.up = True
+        self._flush_threshold = flush_threshold
+        self._max_sstables = max_sstables
+        self.tables: dict[str, TableStore] = {}
+        self.hints: list[Hint] = []  # hinted handoff buffer (held as coordinator)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"<StorageNode {self.node_id} [{state}] tables={len(self.tables)}>"
+
+    # -- liveness -------------------------------------------------------
+
+    def mark_down(self) -> None:
+        self.up = False
+
+    def mark_up(self) -> None:
+        self.up = True
+
+    def _check_up(self) -> None:
+        if not self.up:
+            raise NodeDownError(self.node_id)
+
+    # -- table management ------------------------------------------------
+
+    def ensure_table(self, table: str) -> TableStore:
+        store = self.tables.get(table)
+        if store is None:
+            store = self.tables[table] = TableStore(
+                flush_threshold=self._flush_threshold,
+                max_sstables=self._max_sstables,
+            )
+        return store
+
+    def drop_table(self, table: str) -> None:
+        self.tables.pop(table, None)
+
+    # -- replica-local operations -----------------------------------------
+
+    def write(self, table: str, partition_key: str, row: Row) -> None:
+        self._check_up()
+        self.ensure_table(table).write(partition_key, row)
+
+    def delete(self, table: str, partition_key: str, clustering: tuple,
+               tombstone_ts: int) -> None:
+        self._check_up()
+        self.ensure_table(table).delete(partition_key, clustering, tombstone_ts)
+
+    def read_partition(
+        self,
+        table: str,
+        partition_key: str,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+    ) -> list[Row]:
+        self._check_up()
+        store = self.tables.get(table)
+        if store is None:
+            return []
+        return store.read_partition(partition_key, lower, upper, reverse, limit)
+
+    def partition_keys(self, table: str) -> set[str]:
+        """Partitions of *table* replicated on this node (liveness ignored:
+        used for placement introspection, not serving reads)."""
+        store = self.tables.get(table)
+        return store.partition_keys() if store else set()
+
+    # -- hinted handoff ----------------------------------------------------
+
+    def buffer_hint(self, hint: Hint) -> None:
+        self.hints.append(hint)
+
+    def drain_hints_for(self, target_node: str) -> Iterator[Hint]:
+        """Pop and yield buffered hints destined for *target_node*."""
+        kept: list[Hint] = []
+        for hint in self.hints:
+            if hint.target_node == target_node:
+                yield hint
+            else:
+                kept.append(hint)
+        self.hints = kept

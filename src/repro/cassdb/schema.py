@@ -1,0 +1,164 @@
+"""Table schemas: partition keys, clustering keys, flexible columns.
+
+The paper's data model (§II-B, Figs 1–2) hinges on *which columns form
+the partition key* — ``(hour, type)`` for ``event_by_time``,
+``(hour, source)`` for ``event_by_location`` — and on clustering rows by
+timestamp inside each partition.  A :class:`TableSchema` captures exactly
+that: it extracts the partition key string (the unit of distribution over
+the ring) and the clustering tuple (the in-partition sort order) from a
+plain column mapping.
+
+Regular columns are intentionally *not* enumerated: the store is
+schema-flexible like Cassandra's wide rows, so new event types with new
+fields need no migration (the "Flexibility" design consideration of
+§II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from .errors import SchemaError
+
+__all__ = ["TableSchema", "Keyspace"]
+
+_KEY_SEPARATOR = "\x1f"  # unit separator: cannot collide with log text fields
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Declarative description of one table.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within a keyspace.
+    partition_key:
+        Column names whose values are concatenated (order-sensitive) into
+        the partition key hashed onto the ring.
+    clustering_key:
+        Column names forming the in-partition sort order.  May be empty
+        for single-row-per-partition tables (e.g. ``nodeinfos``).
+    clustering_order:
+        ``"asc"`` or ``"desc"``; the event tables use ascending timestamp.
+    """
+
+    name: str
+    partition_key: tuple[str, ...]
+    clustering_key: tuple[str, ...] = ()
+    clustering_order: str = "asc"
+    description: str = ""
+    # Optional converters applied when a partition key is *parsed back*
+    # from its ring-key string (full scans, locality reads).  Keys are
+    # partition-key column names, values are callables str -> value,
+    # e.g. {"hour": int}.  Unlisted columns come back as strings.
+    key_codecs: tuple[tuple[str, Callable[[str], Any]], ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        if not self.partition_key:
+            raise SchemaError(f"table {self.name!r}: partition key required")
+        if self.clustering_order not in ("asc", "desc"):
+            raise SchemaError(
+                f"table {self.name!r}: clustering_order must be 'asc' or 'desc'"
+            )
+        overlap = set(self.partition_key) & set(self.clustering_key)
+        if overlap:
+            raise SchemaError(
+                f"table {self.name!r}: columns {sorted(overlap)} appear in both "
+                "partition and clustering keys"
+            )
+
+    # -- key extraction -------------------------------------------------
+
+    def partition_key_of(self, values: Mapping[str, Any]) -> str:
+        """Build the ring key for a row's column values.
+
+        The table name is folded in so identical key tuples in different
+        tables land on different (statistically independent) ring
+        positions, as separate Cassandra tables do.
+        """
+        parts = [self.name]
+        for col in self.partition_key:
+            if col not in values:
+                raise SchemaError(
+                    f"table {self.name!r}: missing partition key column {col!r}"
+                )
+            parts.append(str(values[col]))
+        return _KEY_SEPARATOR.join(parts)
+
+    def partition_key_from_tuple(self, key_values: Sequence[Any]) -> str:
+        """Ring key from positional partition-key values (planner path)."""
+        if len(key_values) != len(self.partition_key):
+            raise SchemaError(
+                f"table {self.name!r}: expected {len(self.partition_key)} "
+                f"partition key values, got {len(key_values)}"
+            )
+        return _KEY_SEPARATOR.join([self.name, *map(str, key_values)])
+
+    def clustering_of(self, values: Mapping[str, Any]) -> tuple:
+        """Build the in-partition clustering tuple for a row."""
+        out = []
+        for col in self.clustering_key:
+            if col not in values:
+                raise SchemaError(
+                    f"table {self.name!r}: missing clustering key column {col!r}"
+                )
+            out.append(values[col])
+        return tuple(out)
+
+    def regular_columns(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """The non-key columns of a row (stored as cells)."""
+        keys = set(self.partition_key) | set(self.clustering_key)
+        return {k: v for k, v in values.items() if k not in keys}
+
+    def rehydrate(self, partition_values: Mapping[str, Any], clustering: tuple,
+                  cells: Mapping[str, Any]) -> dict[str, Any]:
+        """Reassemble a full ``column -> value`` row for query results."""
+        out = dict(partition_values)
+        out.update(zip(self.clustering_key, clustering))
+        out.update(cells)
+        return out
+
+    def partition_values_from_key(self, ring_key: str) -> dict[str, Any]:
+        """Invert :meth:`partition_key_of`.
+
+        Values come back as strings unless a codec was declared for the
+        column in ``key_codecs`` (e.g. ``(("hour", int),)``).
+        """
+        parts = ring_key.split(_KEY_SEPARATOR)
+        if parts[0] != self.name or len(parts) != len(self.partition_key) + 1:
+            raise SchemaError(f"ring key {ring_key!r} is not from table {self.name!r}")
+        out: dict[str, Any] = dict(zip(self.partition_key, parts[1:]))
+        for col, codec in self.key_codecs:
+            if col in out:
+                out[col] = codec(out[col])
+        return out
+
+
+@dataclass
+class Keyspace:
+    """A named collection of table schemas (plus replication settings)."""
+
+    name: str
+    replication_factor: int = 1
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+
+    def create_table(self, schema: TableSchema) -> TableSchema:
+        if schema.name in self.tables:
+            raise SchemaError(f"table already exists: {schema.name!r}")
+        self.tables[schema.name] = schema
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise SchemaError(f"no such table: {name!r}")
+        del self.tables[name]
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table: {name!r}") from None

@@ -1,0 +1,149 @@
+"""Immutable sorted runs (SSTables) with bloom filters.
+
+An SSTable is a frozen snapshot of a memtable: every partition's rows in
+clustering order, plus a bloom filter over partition keys so reads for
+absent partitions return without touching the data ("data is retrieved
+by row key and range within a row, which guarantees a fast and efficient
+search" — paper §II-A).
+
+SSTables here live in memory (the cluster is simulated in-process) but
+preserve the two properties the rest of the system depends on:
+immutability (compaction builds new tables, never edits) and sortedness
+(range scans bisect instead of filtering).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterable, Iterator
+
+from .bloom import BloomFilter
+from .memtable import Memtable
+from .row import ClusteringBound, Row, merge_rows
+
+__all__ = ["SSTable", "merge_sstables", "scan_partition"]
+
+_generation_counter = itertools.count(1)
+
+
+class SSTable:
+    """One immutable sorted run of a table's data on one node."""
+
+    def __init__(self, partitions: dict[str, list[Row]], generation: int | None = None):
+        # Rows per partition must already be sorted by clustering key.
+        self.partitions = partitions
+        self.generation = (
+            generation if generation is not None else next(_generation_counter)
+        )
+        self.bloom = BloomFilter.from_keys(partitions.keys())
+        self.row_count = sum(len(rows) for rows in partitions.values())
+
+    @classmethod
+    def from_memtable(cls, memtable: Memtable) -> "SSTable":
+        parts = {
+            pk: partition.sorted_rows() for pk, partition in memtable.items()
+        }
+        return cls(parts)
+
+    def maybe_contains(self, partition_key: str) -> bool:
+        """Bloom-filter check; False means *definitely* absent."""
+        return partition_key in self.bloom
+
+    def get_partition(self, partition_key: str) -> list[Row] | None:
+        if not self.maybe_contains(partition_key):
+            return None
+        return self.partitions.get(partition_key)
+
+    def partition_keys(self) -> Iterator[str]:
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+
+def scan_partition(
+    rows: list[Row],
+    lower: ClusteringBound | None = None,
+    upper: ClusteringBound | None = None,
+    reverse: bool = False,
+) -> list[Row]:
+    """Range-scan a sorted row list by clustering bounds.
+
+    Bisect to the bound positions, then apply the (prefix-aware) bound
+    predicates to the edge elements only — O(log n + k) for k results.
+    """
+    if not rows:
+        return []
+    keys = [r.clustering for r in rows]
+    lo = 0
+    hi = len(rows)
+    if lower is not None:
+        lo = bisect.bisect_left(keys, lower.key)
+        while lo < len(rows) and not lower.admits_lower(keys[lo]):
+            lo += 1
+    if upper is not None:
+        # Pad the bound so that every clustering tuple sharing the prefix
+        # sorts below the sentinel, then walk back over rejected edges.
+        hi = bisect.bisect_right(keys, upper.key + (_Greatest(),))
+        while hi > lo and not upper.admits_upper(keys[hi - 1]):
+            hi -= 1
+    selected = rows[lo:hi]
+    return selected[::-1] if reverse else selected
+
+
+class _Greatest:
+    """Sentinel comparing greater than any value (for prefix upper bounds)."""
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Greatest)
+
+    def __hash__(self) -> int:
+        return hash("_Greatest")
+
+
+def _merge_sorted_rows(row_lists: list[list[Row]]) -> list[Row]:
+    """k-way merge of sorted row lists, reconciling equal clustering keys.
+
+    Later lists take precedence only via cell timestamps (merge_rows), so
+    the caller's ordering of *row_lists* does not matter.
+    """
+    if len(row_lists) == 1:
+        return list(row_lists[0])
+    merged: dict[tuple, Row] = {}
+    for rows in row_lists:
+        for row in rows:
+            existing = merged.get(row.clustering)
+            merged[row.clustering] = (
+                row if existing is None else merge_rows(existing, row)
+            )
+    return [merged[k] for k in sorted(merged)]
+
+
+def merge_sstables(tables: Iterable[SSTable], drop_tombstones: bool = True) -> SSTable:
+    """Compaction: merge several runs into one, reconciling duplicates.
+
+    With ``drop_tombstones`` the merged output garbage-collects rows whose
+    latest state is a deletion (safe here because compaction covers *all*
+    runs of the table, i.e. there is no older run left that the tombstone
+    still needs to shadow).
+    """
+    tables = list(tables)
+    all_keys: set[str] = set()
+    for t in tables:
+        all_keys.update(t.partitions.keys())
+    out: dict[str, list[Row]] = {}
+    for pk in all_keys:
+        lists = [t.partitions[pk] for t in tables if pk in t.partitions]
+        rows = _merge_sorted_rows(lists)
+        if drop_tombstones:
+            rows = [r for r in rows if r.is_live]
+        if rows:
+            out[pk] = rows
+    return SSTable(out)

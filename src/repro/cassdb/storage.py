@@ -1,0 +1,131 @@
+"""Per-node, per-table LSM storage engine.
+
+Ties together the write path (memtable → flush → SSTables → compaction)
+and the read path (newest-to-oldest merge across memtable and SSTables,
+then a clustering-range scan).  One :class:`TableStore` exists per table
+per storage node; it is single-writer from the node's point of view,
+matching the simulated cluster's per-node execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .memtable import Memtable
+from .row import ClusteringBound, Row
+from .sstable import SSTable, merge_sstables, scan_partition, _merge_sorted_rows
+
+__all__ = ["StoreStats", "TableStore"]
+
+
+@dataclass
+class StoreStats:
+    """Operational counters exposed for the scalability benchmarks."""
+
+    writes: int = 0
+    reads: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    bloom_skips: int = 0  # SSTable reads avoided by the bloom filter
+    sstable_probes: int = 0
+
+
+@dataclass
+class TableStore:
+    """LSM tree for one table on one node.
+
+    Parameters
+    ----------
+    flush_threshold:
+        Rows buffered in the memtable before an automatic flush.
+    max_sstables:
+        Size-tiered compaction trigger: when the number of runs exceeds
+        this, all runs are merged into one.
+    """
+
+    flush_threshold: int = 50_000
+    max_sstables: int = 8
+    memtable: Memtable = field(default_factory=Memtable)
+    sstables: list[SSTable] = field(default_factory=list)
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    # -- write path -----------------------------------------------------
+
+    def write(self, partition_key: str, row: Row) -> None:
+        self.memtable.upsert(partition_key, row)
+        self.stats.writes += 1
+        if self.memtable.row_count >= self.flush_threshold:
+            self.flush()
+
+    def delete(self, partition_key: str, clustering: tuple, tombstone_ts: int) -> None:
+        self.memtable.delete(partition_key, clustering, tombstone_ts)
+        self.stats.writes += 1
+        if self.memtable.row_count >= self.flush_threshold:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new SSTable (no-op when empty)."""
+        if not self.memtable.row_count:
+            return
+        self.sstables.append(SSTable.from_memtable(self.memtable))
+        self.memtable = Memtable()
+        self.stats.flushes += 1
+        if len(self.sstables) > self.max_sstables:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge all runs into one, dropping shadowed data and tombstones."""
+        if len(self.sstables) <= 1:
+            return
+        self.sstables = [merge_sstables(self.sstables)]
+        self.stats.compactions += 1
+
+    # -- read path ------------------------------------------------------
+
+    def read_partition(
+        self,
+        partition_key: str,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+    ) -> list[Row]:
+        """All live rows of a partition within clustering bounds.
+
+        Merges every run that may contain the partition (bloom-filtered),
+        reconciles duplicates by cell timestamp, filters tombstoned rows,
+        then applies bounds and limit.
+        """
+        self.stats.reads += 1
+        sources: list[list[Row]] = []
+        mem_part = self.memtable.get_partition(partition_key)
+        if mem_part is not None:
+            sources.append(mem_part.sorted_rows())
+        for sst in self.sstables:
+            if not sst.maybe_contains(partition_key):
+                self.stats.bloom_skips += 1
+                continue
+            self.stats.sstable_probes += 1
+            rows = sst.partitions.get(partition_key)
+            if rows:
+                sources.append(rows)
+        if not sources:
+            return []
+        merged = _merge_sorted_rows(sources)
+        live = [r for r in merged if r.is_live]
+        out = scan_partition(live, lower, upper, reverse)
+        if limit is not None:
+            out = out[:limit]
+        return out
+
+    def partition_keys(self) -> set[str]:
+        """Every partition key present on this node (memtable + runs)."""
+        keys = set(self.memtable.partition_keys())
+        for sst in self.sstables:
+            keys.update(sst.partition_keys())
+        return keys
+
+    @property
+    def row_count(self) -> int:
+        """Approximate row count (duplicates across runs counted once each)."""
+        return self.memtable.row_count + sum(len(s) for s in self.sstables)

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational layer over the library for users who want the
+paper's workflow without writing Python:
+
+* ``generate`` — write synthetic raw log files (+ a job history);
+* ``ingest``   — batch-ETL raw logs and report ETL health;
+* ``analyze``  — one-shot analytics on raw logs: heat map, hot spots,
+  temporal map, or storm keywords for a time window;
+* ``topology`` — inspect the Titan coordinate system.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.core import LogAnalyticsFramework
+from repro.genlog import JobGenerator, LogGenerator
+from repro.titan import NodeLocation, TitanTopology
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPC log analytics framework "
+                    "(Park et al., CLUSTER 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_args(p):
+        p.add_argument("--rows", type=int, default=1,
+                       help="cabinet rows (<= 25)")
+        p.add_argument("--cols", type=int, default=2,
+                       help="cabinet columns (<= 8)")
+        p.add_argument("--seed", type=int, default=2017)
+
+    gen = sub.add_parser("generate", help="write synthetic raw logs")
+    add_machine_args(gen)
+    gen.add_argument("--hours", type=float, default=12.0)
+    gen.add_argument("--rate-multiplier", type=float, default=40.0)
+    gen.add_argument("--storms-per-day", type=float, default=2.0)
+    gen.add_argument("--jobs", action="store_true",
+                     help="also write a jobs.json history")
+    gen.add_argument("--out", required=True, help="output directory")
+
+    ing = sub.add_parser("ingest", help="batch ETL raw logs, report health")
+    add_machine_args(ing)
+    ing.add_argument("logs", nargs="+", help="raw log files (globs ok)")
+    ing.add_argument("--coalesce", type=float, default=1.0,
+                     help="coalescing window seconds (0 = off)")
+
+    ana = sub.add_parser("analyze", help="run one analytic over raw logs")
+    add_machine_args(ana)
+    ana.add_argument("logs", nargs="+", help="raw log files (globs ok)")
+    ana.add_argument("--view", required=True,
+                     choices=["heatmap", "hotspots", "temporal",
+                              "keywords", "synopsis"])
+    ana.add_argument("--event-type", default="MCE")
+    ana.add_argument("--t0", type=float, default=0.0)
+    ana.add_argument("--t1", type=float, default=None,
+                     help="window end seconds (default: all data)")
+    ana.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit JSON instead of text rendering")
+
+    topo = sub.add_parser("topology", help="inspect Titan coordinates")
+    topo.add_argument("query", help="a cname (c3-17c1s5n2) or node index")
+
+    return parser
+
+
+def _expand(paths: Sequence[str]) -> list[str]:
+    out: list[str] = []
+    for pattern in paths:
+        matches = sorted(glob.glob(pattern))
+        out.extend(matches if matches else [pattern])
+    return out
+
+
+def _framework(args) -> LogAnalyticsFramework:
+    topo = TitanTopology(rows=args.rows, cols=args.cols)
+    return LogAnalyticsFramework(topo, db_nodes=4).setup()
+
+
+def _cmd_generate(args) -> int:
+    topo = TitanTopology(rows=args.rows, cols=args.cols)
+    gen = LogGenerator(topo, seed=args.seed,
+                       rate_multiplier=args.rate_multiplier,
+                       storms_per_day=args.storms_per_day)
+    events = gen.generate(args.hours)
+    paths = gen.write_log_files(args.out, events)
+    print(f"wrote {len(events)} events across "
+          f"{len(paths)} files in {args.out}")
+    for source, path in sorted(paths.items()):
+        print(f"  {source}: {path}")
+    truth_path = os.path.join(args.out, "ground_truth.json")
+    with open(truth_path, "w", encoding="utf-8") as fh:
+        json.dump({
+            "hot_nodes": gen.ground_truth.hot_nodes,
+            "storms": [
+                {"start": s.start, "duration": s.duration, "ost": s.ost,
+                 "num_events": s.num_events}
+                for s in gen.ground_truth.storms
+            ],
+            "cascades": gen.ground_truth.cascades,
+        }, fh, indent=2)
+    print(f"  ground truth: {truth_path}")
+    if args.jobs:
+        runs = JobGenerator(topo, seed=args.seed).generate(args.hours)
+        jobs_path = os.path.join(args.out, "jobs.json")
+        with open(jobs_path, "w", encoding="utf-8") as fh:
+            json.dump([
+                {"apid": r.apid, "app": r.app, "user": r.user,
+                 "start": r.start, "end": r.end, "nodes": list(r.nodes),
+                 "exit_status": r.exit_status}
+                for r in runs
+            ], fh)
+        print(f"  jobs: {jobs_path} ({len(runs)} runs)")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    fw = _framework(args)
+    stats = fw.ingest_batch(_expand(args.logs),
+                            coalesce_seconds=args.coalesce or None)
+    print(f"lines:     {stats.lines}")
+    print(f"parsed:    {stats.parsed}")
+    print(f"unparsed:  {stats.unparsed}")
+    print(f"written:   {stats.written}")
+    print(f"coalesced: {stats.coalesced_away}")
+    fw.stop()
+    return 0 if stats.unparsed == 0 else 1
+
+
+def _cmd_analyze(args) -> int:
+    fw = _framework(args)
+    fw.ingest_batch(_expand(args.logs), coalesce_seconds=None)
+    t1 = args.t1
+    if t1 is None:
+        # End of data: latest event time (+1 s) across the full store.
+        t1 = max(
+            (r["ts"] for r in fw.sc.cassandraTable("event_by_time")
+             .map(lambda r: {"ts": r["ts"]}).collect()),
+            default=args.t0,
+        ) + 1.0
+    ctx = fw.context(args.t0, max(t1, args.t0 + 1.0),
+                     event_types=(args.event_type,))
+    if args.view == "heatmap":
+        counts = fw.heatmap(ctx, "node")
+        if args.as_json:
+            print(json.dumps(fw.system_map.to_json(counts)))
+        else:
+            print(fw.render_heatmap(ctx, title=f"{args.event_type} heat map"))
+    elif args.view == "hotspots":
+        spots = fw.hotspots(ctx)
+        payload = [
+            {"component": h.component, "count": h.count,
+             "expected": round(h.expected, 2),
+             "z": round(h.z_score, 2)}
+            for h in spots
+        ]
+        print(json.dumps(payload, indent=None if args.as_json else 2))
+    elif args.view == "temporal":
+        if args.as_json:
+            edges, counts = fw.time_histogram(ctx, 24)
+            print(json.dumps({"edges": edges.tolist(),
+                              "counts": counts.tolist()}))
+        else:
+            print(fw.render_temporal_map(ctx, num_bins=24,
+                                         title=f"{args.event_type} over time"))
+    elif args.view == "keywords":
+        terms = fw.keywords(ctx, n=10)
+        if args.as_json:
+            print(json.dumps(terms))
+        else:
+            print(fw.render_word_bubbles(ctx, n=10))
+    else:  # synopsis
+        fw.refresh_synopsis()
+        hours = range(int(ctx.t0 // 3600), int((ctx.t1 - 1e-9) // 3600) + 1)
+        rows = [r for h in hours for r in fw.model.synopsis_for_hour(h)]
+        print(json.dumps(rows, indent=None if args.as_json else 2))
+    fw.stop()
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    query = args.query
+    loc = (NodeLocation.from_index(int(query)) if query.isdigit()
+           else NodeLocation.from_cname(query))
+    print(json.dumps({
+        "cname": loc.cname,
+        "index": loc.index,
+        "cabinet": loc.cabinet,
+        "blade": loc.blade,
+        "cage": loc.cage,
+        "slot": loc.slot,
+        "node": loc.node,
+        "gemini": loc.gemini_id,
+        "router_peer": loc.router_peer().cname,
+    }, indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "ingest": _cmd_ingest,
+    "analyze": _cmd_analyze,
+    "topology": _cmd_topology,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

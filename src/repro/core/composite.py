@@ -1,0 +1,209 @@
+"""Composite event types (paper §V, future work item 1).
+
+"First, new and composite event types will need to be defined for
+capturing the complete status of the system.  This will involve event
+mining techniques rather than text pattern matching."
+
+A :class:`CompositeEventDef` names a *sequence* of base event types
+that must occur on the same component within a time window (e.g.
+``DRAM_UE → KERNEL_PANIC`` = ``NODE_DEATH_SEQUENCE``).  The detector
+scans a context for matches and materializes them as first-class events
+— registered in the event-type registry and written to the event tables
+— so every existing analytic (heat maps, TE, contexts) works on them
+unchanged.  That closing of the loop is the point of the data model's
+flexibility requirement (§II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.titan.events import EventRegistry, EventType, LogSource, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+    from .model import LogDataModel
+
+__all__ = ["CompositeEventDef", "CompositeMatch", "detect_composites",
+           "materialize_composites", "NODE_DEATH_SEQUENCE", "GPU_RETIREMENT"]
+
+
+@dataclass(frozen=True)
+class CompositeEventDef:
+    """An ordered same-component sequence of base types within a window."""
+
+    name: str
+    sequence: tuple[str, ...]
+    window: float                 # seconds from first to last element
+    severity: Severity = Severity.CRITICAL
+    description: str = ""
+
+    def __post_init__(self):
+        if len(self.sequence) < 2:
+            raise ValueError("a composite needs at least two elements")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+    def as_event_type(self) -> EventType:
+        return EventType(
+            name=self.name, category="composite", severity=self.severity,
+            source=LogSource.CONSOLE,
+            description=self.description
+            or f"composite: {' -> '.join(self.sequence)}",
+            base_rate=0.0,
+        )
+
+
+# The two sequences the generator's fault model actually produces.
+NODE_DEATH_SEQUENCE = CompositeEventDef(
+    name="NODE_DEATH_SEQUENCE",
+    sequence=("DRAM_UE", "KERNEL_PANIC", "HEARTBEAT_FAULT"),
+    window=120.0,
+    severity=Severity.FATAL,
+    description="Uncorrectable memory error escalating to node death",
+)
+
+GPU_RETIREMENT = CompositeEventDef(
+    name="GPU_RETIREMENT",
+    sequence=("GPU_DBE", "GPU_OFF_BUS"),
+    window=300.0,
+    description="GPU double-bit error followed by bus loss",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeMatch:
+    """One detected composite occurrence."""
+
+    definition: CompositeEventDef
+    component: str
+    element_times: tuple[float, ...]
+
+    @property
+    def ts(self) -> float:
+        """Composite events are stamped at sequence completion."""
+        return self.element_times[-1]
+
+    @property
+    def type(self) -> str:
+        return self.definition.name
+
+    @property
+    def span(self) -> float:
+        return self.element_times[-1] - self.element_times[0]
+
+
+def detect_composites(
+    events: Iterable[dict],
+    definitions: Sequence[CompositeEventDef],
+) -> list[CompositeMatch]:
+    """Scan event rows for composite sequences.
+
+    Greedy earliest-match semantics per component: each base event can
+    anchor at most one in-flight match per definition, and a completed
+    match consumes its elements (no overlapping duplicates from one
+    burst).
+    """
+    by_component: dict[str, list[dict]] = {}
+    for row in sorted(events, key=lambda e: e["ts"]):
+        by_component.setdefault(row["source"], []).append(row)
+    matches: list[CompositeMatch] = []
+    for definition in definitions:
+        first, rest = definition.sequence[0], definition.sequence[1:]
+        for component, rows in by_component.items():
+            used: set[int] = set()
+            for i, anchor in enumerate(rows):
+                if anchor["type"] != first or i in used:
+                    continue
+                times = [anchor["ts"]]
+                cursor = i
+                ok = True
+                for wanted in rest:
+                    found = None
+                    for j in range(cursor + 1, len(rows)):
+                        if j in used:
+                            continue
+                        row = rows[j]
+                        if row["ts"] - times[0] > definition.window:
+                            break
+                        if row["type"] == wanted:
+                            found = j
+                            break
+                    if found is None:
+                        ok = False
+                        break
+                    used.add(found)
+                    times.append(rows[found]["ts"])
+                    cursor = found
+                if ok:
+                    used.add(i)
+                    matches.append(CompositeMatch(
+                        definition=definition, component=component,
+                        element_times=tuple(times),
+                    ))
+    matches.sort(key=lambda m: (m.ts, m.component))
+    return matches
+
+
+class _CompositeEvent:
+    """Adapter: a CompositeMatch shaped like a writable event."""
+
+    __slots__ = ("ts", "type", "component", "source", "amount", "attrs",
+                 "raw")
+
+    def __init__(self, match: CompositeMatch):
+        self.ts = match.ts
+        self.type = match.type
+        self.component = match.component
+        self.source = LogSource.CONSOLE
+        self.amount = 1
+        self.attrs = {
+            "elements": list(match.definition.sequence),
+            "element_times": [round(t, 3) for t in match.element_times],
+            "span": round(match.span, 3),
+        }
+        self.raw = (f"COMPOSITE {match.type}: "
+                    f"{' -> '.join(match.definition.sequence)} "
+                    f"over {match.span:.1f}s")
+
+
+def materialize_composites(
+    model: "LogDataModel",
+    context: "Context",
+    definitions: Sequence[CompositeEventDef],
+    registry: EventRegistry | None = None,
+) -> list[CompositeMatch]:
+    """Detect composites in a context and write them back as events.
+
+    New composite types are registered (and persisted to ``eventtypes``)
+    on first use; the written events land in both dual views, so
+    contexts and analytics treat them like any base type.  Idempotent:
+    matches already materialized (same type, component, completion
+    time) are detected again but not re-written.
+    """
+    matches = detect_composites(context.events(model), definitions)
+    existing: set[tuple[str, str, float]] = set()
+    for definition in definitions:
+        for row in model.events_of_type(definition.name,
+                                        context.t0, context.t1):
+            existing.add((row["type"], row["source"], round(row["ts"], 6)))
+    for definition in definitions:
+        if registry is not None and definition.name not in registry:
+            event_type = registry.register(definition.as_event_type())
+            model.cluster.insert("eventtypes", {
+                "name": event_type.name,
+                "category": event_type.category,
+                "severity": event_type.severity.value,
+                "source": event_type.source.value,
+                "description": event_type.description,
+                "base_rate": event_type.base_rate,
+                "fatal_to_node": event_type.fatal_to_node,
+            })
+    fresh = [
+        m for m in matches
+        if (m.type, m.component, round(m.ts, 6)) not in existing
+    ]
+    if fresh:
+        model.write_events([_CompositeEvent(m) for m in fresh])
+    return matches

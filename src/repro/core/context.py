@@ -1,0 +1,176 @@
+"""Contexts: the frontend's unit of interaction (paper §III-B).
+
+"Users interact with the framework by creating a context.  A context is
+selected on the basis of event type, application, location, user, time
+period, or a combination of these, over which the system status is
+defined and examined."
+
+A :class:`Context` is a declarative filter; :meth:`Context.events` and
+:meth:`Context.runs` resolve it against a :class:`~repro.core.model.
+LogDataModel` choosing the cheapest access path the data model offers
+(type-partitioned read, location-partitioned read, or per-view
+application read) and post-filtering the rest — exactly what the
+paper's query engine does when translating frontend JSON into CQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .model import LogDataModel
+
+__all__ = ["Context"]
+
+
+@dataclass(frozen=True)
+class Context:
+    """A spatio-temporal selection of system state.
+
+    ``t0``/``t1`` bound the time period (seconds); the remaining fields
+    narrow by event type(s), component(s), application or user.  All
+    narrowing fields are optional; ``None`` means "any".
+    """
+
+    t0: float
+    t1: float
+    event_types: tuple[str, ...] | None = None
+    sources: tuple[str, ...] | None = None
+    app: str | None = None
+    user: str | None = None
+
+    def __post_init__(self):
+        if self.t1 <= self.t0:
+            raise ValueError("context requires t1 > t0")
+
+    # -- refinement (the frontend's repeated sub-interval selection) -------
+
+    def narrow_time(self, t0: float, t1: float) -> "Context":
+        """Zoom into a sub-interval (must lie within this context)."""
+        if t0 < self.t0 or t1 > self.t1:
+            raise ValueError("narrowed interval must nest inside the context")
+        return replace(self, t0=t0, t1=t1)
+
+    def with_event_types(self, *types: str) -> "Context":
+        return replace(self, event_types=tuple(types) or None)
+
+    def with_sources(self, *sources: str) -> "Context":
+        return replace(self, sources=tuple(sources) or None)
+
+    def with_app(self, app: str) -> "Context":
+        return replace(self, app=app)
+
+    def with_user(self, user: str) -> "Context":
+        return replace(self, user=user)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_json(self) -> dict[str, Any]:
+        """The wire form the frontend sends (JSON-serializable)."""
+        return {
+            "t0": self.t0,
+            "t1": self.t1,
+            "event_types": list(self.event_types) if self.event_types else None,
+            "sources": list(self.sources) if self.sources else None,
+            "app": self.app,
+            "user": self.user,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Context":
+        return cls(
+            t0=float(payload["t0"]),
+            t1=float(payload["t1"]),
+            event_types=tuple(payload["event_types"])
+            if payload.get("event_types") else None,
+            sources=tuple(payload["sources"])
+            if payload.get("sources") else None,
+            app=payload.get("app"),
+            user=payload.get("user"),
+        )
+
+    # -- resolution against the data model --------------------------------------
+
+    def events(self, model: "LogDataModel") -> list[dict[str, Any]]:
+        """Materialize the context's events, cheapest path first.
+
+        * few sources, any types  → ``event_by_location`` partitions;
+        * few types               → ``event_by_time`` partitions;
+        * app/user set            → restrict to the app's nodes & window.
+        """
+        app_nodes, app_window = self._application_scope(model)
+        sources = self.sources
+        if app_nodes is not None:
+            sources = tuple(sorted(
+                set(sources) & app_nodes if sources else app_nodes
+            ))
+        t0, t1 = self.t0, self.t1
+        if app_window is not None:
+            t0, t1 = max(t0, app_window[0]), min(t1, app_window[1])
+            if t1 <= t0:
+                return []
+
+        rows: list[dict[str, Any]] = []
+        if sources is not None and (
+            self.event_types is None or len(sources) <= len(self.event_types)
+        ):
+            for source in sources:
+                rows.extend(model.events_at_location(source, t0, t1))
+            if self.event_types is not None:
+                wanted = set(self.event_types)
+                rows = [r for r in rows if r["type"] in wanted]
+        elif self.event_types is not None:
+            for etype in self.event_types:
+                rows.extend(model.events_of_type(etype, t0, t1))
+            if sources is not None:
+                wanted_src = set(sources)
+                rows = [r for r in rows if r["source"] in wanted_src]
+        else:
+            # Fully unconstrained: every type in the catalogue.
+            for etype in (t["name"] for t in model.event_types()):
+                rows.extend(model.events_of_type(etype, t0, t1))
+        rows.sort(key=lambda r: (r["ts"], r["type"], r["source"]))
+        return rows
+
+    def runs(self, model: "LogDataModel") -> list[dict[str, Any]]:
+        """Materialize the context's application runs."""
+        if self.user is not None:
+            rows = model.runs_of_user(self.user)
+            rows = [r for r in rows if r["start"] < self.t1
+                    and r["end"] > self.t0]
+        else:
+            rows = model.runs_in_interval(self.t0, self.t1)
+        if self.app is not None:
+            rows = [r for r in rows if r["app"] == self.app]
+        if self.user is not None:
+            rows = [r for r in rows if r["user"] == self.user]
+        if self.sources is not None:
+            wanted = set(self.sources)
+            rows = [
+                r for r in rows
+                if wanted & set(model.run_nodes(r))
+            ]
+        rows.sort(key=lambda r: (r["start"], r["apid"]))
+        return rows
+
+    # -- internals ------------------------------------------------------------------
+
+    def _application_scope(self, model: "LogDataModel"
+                           ) -> tuple[set[str] | None,
+                                      tuple[float, float] | None]:
+        """If the context names an app or user, the union of node sets
+        and the tight time envelope of the matching runs."""
+        if self.app is None and self.user is None:
+            return None, None
+        runs = self.runs(model)
+        if not runs:
+            return set(), (self.t0, self.t0)  # empty scope
+        nodes: set[str] = set()
+        lo, hi = float("inf"), float("-inf")
+        for run in runs:
+            nodes.update(model.run_nodes(run))
+            lo, hi = min(lo, run["start"]), max(hi, run["end"])
+        return nodes, (lo, hi)

@@ -1,0 +1,357 @@
+"""LogAnalyticsFramework — the facade wiring the whole system together.
+
+One object owns the paper's deployment (Fig 3): a cassdb cluster with
+the eight-table model, a co-located sparklet context (one worker per DB
+node), ingestion in both batch and streaming modes, the context/query
+layer, the analytics, and the frontend renderers.  The analytics
+server (``repro.core.server``) exposes the same capabilities over a
+JSON request interface.
+
+Typical use::
+
+    from repro.core import LogAnalyticsFramework
+    from repro.titan import TitanTopology
+
+    fw = LogAnalyticsFramework(TitanTopology(rows=2, cols=2), db_nodes=8)
+    fw.setup()
+    fw.ingest_events(events)           # from genlog, or batch/stream ETL
+    ctx = fw.context(0, 24 * 3600, event_types=("MCE",))
+    print(fw.render_heatmap(ctx))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.cassdb import Cluster, Consistency, Session
+from repro.genlog.jobs import ApplicationRun
+from repro.ingest import IngestStats, StreamingIngestor, batch_ingest
+from repro.sparklet import SparkletContext
+from repro.titan.events import EventRegistry, default_registry
+from repro.titan.topology import TitanTopology
+
+from . import analytics, correlation, mining, prediction, profiles, textmining
+from .composite import CompositeEventDef, CompositeMatch, materialize_composites
+from .context import Context
+from .frontend import (
+    PhysicalSystemMap,
+    render_event_type_map,
+    render_histogram,
+    render_table,
+    render_word_bubbles,
+)
+from .model import LogDataModel
+
+__all__ = ["LogAnalyticsFramework"]
+
+
+class LogAnalyticsFramework:
+    """The deployed system: backend DB + engine + analytics + frontend.
+
+    Parameters
+    ----------
+    topology:
+        Machine being monitored (defaults to a 2×2-cabinet slice of
+        Titan — full scale works but loading 19 200 nodeinfos takes a
+        while in-process).
+    db_nodes:
+        Cassandra-model cluster size (the paper's CADES deployment used
+        32 VMs).
+    replication_factor / vnodes / consistency:
+        Backend tuning.
+    placement:
+        sparklet task placement policy (``"locality"`` reproduces the
+        paper's co-located layout).
+    """
+
+    def __init__(
+        self,
+        topology: TitanTopology | None = None,
+        *,
+        db_nodes: int = 4,
+        replication_factor: int = 2,
+        vnodes: int = 64,
+        registry: EventRegistry | None = None,
+        placement: str = "locality",
+        consistency: Consistency = Consistency.ONE,
+        flush_threshold: int = 50_000,
+    ):
+        self.topology = topology or TitanTopology(rows=2, cols=2)
+        self.registry = registry or default_registry()
+        self.cluster = Cluster(
+            db_nodes,
+            replication_factor=min(replication_factor, db_nodes),
+            vnodes=vnodes,
+            flush_threshold=flush_threshold,
+        )
+        self.model = LogDataModel(self.cluster)
+        self.sc = SparkletContext(cluster=self.cluster, placement=placement)
+        self.session = Session(self.cluster, consistency)
+        self.system_map = PhysicalSystemMap(self.topology)
+        self._ready = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def setup(self, load_nodeinfos: bool = True) -> "LogAnalyticsFramework":
+        """Create the eight tables and load reference data."""
+        self.model.create_tables()
+        self.model.load_eventtypes(self.registry)
+        if load_nodeinfos:
+            self.model.load_nodeinfos(self.topology)
+        self._ready = True
+        return self
+
+    def _check_ready(self) -> None:
+        if not self._ready:
+            raise RuntimeError("call setup() before using the framework")
+
+    def stop(self) -> None:
+        self.sc.stop()
+
+    def __enter__(self) -> "LogAnalyticsFramework":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest_events(self, events: Iterable) -> int:
+        """Load structured events (generator output or parsed events)."""
+        self._check_ready()
+        return self.model.write_events(events)
+
+    def ingest_applications(self, runs: Iterable[ApplicationRun]) -> int:
+        self._check_ready()
+        return self.model.write_applications(runs)
+
+    def ingest_batch(self, paths: Sequence[str],
+                     coalesce_seconds: float | None = 1.0) -> IngestStats:
+        """Batch ETL from raw log files through the engine (§III-D)."""
+        self._check_ready()
+        return batch_ingest(self.sc, paths, self.model,
+                            coalesce_seconds=coalesce_seconds)
+
+    def streaming_ingestor(self, bus, topic: str, *,
+                           batch_interval: float = 1.0,
+                           group_id: str = "analytics-ingest"
+                           ) -> StreamingIngestor:
+        """Attach a streaming ingest pipeline to a message bus topic."""
+        self._check_ready()
+        return StreamingIngestor(
+            bus, topic, self.model, self.sc,
+            batch_interval=batch_interval, group_id=group_id,
+        )
+
+    def refresh_synopsis(self) -> int:
+        self._check_ready()
+        return self.model.refresh_synopsis(self.sc)
+
+    # -- contexts ----------------------------------------------------------------
+
+    def context(self, t0: float, t1: float, *,
+                event_types: Sequence[str] | None = None,
+                sources: Sequence[str] | None = None,
+                app: str | None = None, user: str | None = None) -> Context:
+        """Create the frontend's unit of interaction (§III-B)."""
+        return Context(
+            t0=t0, t1=t1,
+            event_types=tuple(event_types) if event_types else None,
+            sources=tuple(sources) if sources else None,
+            app=app, user=user,
+        )
+
+    def events(self, context: Context) -> list[dict[str, Any]]:
+        self._check_ready()
+        return context.events(self.model)
+
+    def runs(self, context: Context) -> list[dict[str, Any]]:
+        self._check_ready()
+        return context.runs(self.model)
+
+    def raw_messages(self, context: Context) -> list[str]:
+        """The retained raw messages of a context (text-mining corpus)."""
+        self._check_ready()
+        return [
+            row["msg"] for row in context.events(self.model)
+            if row.get("msg")
+        ]
+
+    # -- analytics ------------------------------------------------------------------
+
+    def heatmap(self, context: Context, granularity: str = "node"
+                ) -> dict[str, int]:
+        self._check_ready()
+        return analytics.heatmap(self.model, context, granularity)
+
+    def distribution(self, context: Context, granularity: str = "cabinet"
+                     ) -> list[tuple[str, int]]:
+        self._check_ready()
+        return analytics.distribution_by(self.model, context, granularity)
+
+    def distribution_by_application(self, context: Context
+                                    ) -> list[tuple[str, int]]:
+        self._check_ready()
+        return analytics.distribution_by_application(self.model, context)
+
+    def time_histogram(self, context: Context, num_bins: int = 48):
+        self._check_ready()
+        return analytics.time_histogram(self.model, context, num_bins)
+
+    def hotspots(self, context: Context, granularity: str = "node",
+                 z_threshold: float = 4.0) -> list[analytics.Hotspot]:
+        """Components with abnormally high occurrence counts (Fig 5)."""
+        self._check_ready()
+        counts = self.heatmap(context, granularity)
+        num = {
+            "node": self.topology.num_nodes,
+            "blade": self.topology.num_cabinets * 24,
+            "cabinet": self.topology.num_cabinets,
+        }[granularity]
+        return analytics.detect_hotspots(counts, num, z_threshold)
+
+    def transfer_entropy(self, context: Context, source_type: str,
+                         target_type: str, *, bin_seconds: float = 60.0,
+                         n_shuffles: int = 200
+                         ) -> correlation.TransferEntropyResult:
+        """Fig 7 (top): directed coupling between two event types."""
+        self._check_ready()
+        return correlation.te_pair(
+            self.model, context, source_type, target_type,
+            bin_seconds=bin_seconds, n_shuffles=n_shuffles,
+        )
+
+    def cross_correlation(self, context: Context, type_a: str, type_b: str,
+                          *, bin_seconds: float = 60.0, max_lag: int = 10
+                          ) -> np.ndarray:
+        self._check_ready()
+        sa = correlation.binned_series(
+            context.with_event_types(type_a).events(self.model),
+            context.t0, context.t1, bin_seconds)
+        sb = correlation.binned_series(
+            context.with_event_types(type_b).events(self.model),
+            context.t0, context.t1, bin_seconds)
+        return correlation.cross_correlation(sa, sb, max_lag)
+
+    def keywords(self, context: Context, n: int = 10,
+                 use_tf_idf: bool = True) -> list[tuple[str, float]]:
+        """Fig 7 (bottom): word bubbles for the context's raw messages."""
+        self._check_ready()
+        return textmining.storm_keywords(
+            self.sc, self.raw_messages(context), n, use_tf_idf
+        )
+
+    def association_rules(self, context: Context, *,
+                          window_seconds: float = 120.0,
+                          min_support: float = 0.001,
+                          min_confidence: float = 0.3
+                          ) -> list[mining.Rule]:
+        """Event co-occurrence rules within the context (§II-A, §V)."""
+        self._check_ready()
+        transactions = mining.windowed_transactions(
+            context.events(self.model), context.t0, context.t1,
+            window_seconds,
+        )
+        frequent = mining.apriori(transactions, min_support)
+        return mining.association_rules(frequent, min_confidence)
+
+    # -- §V extensions: prediction, composites, profiles -------------------------------
+
+    def mine_precursors(self, context: Context, **kw
+                        ) -> list[prediction.PrecursorRule]:
+        """Mine (non-fatal → fatal) precursor rules from history (§IV/§V)."""
+        self._check_ready()
+        return prediction.mine_precursors(self.model, context, **kw)
+
+    def build_predictor(self, training: Context, **kw
+                        ) -> prediction.PrecursorPredictor:
+        """Train an online failure predictor on a historical context."""
+        return prediction.PrecursorPredictor(
+            self.mine_precursors(training, **kw)
+        )
+
+    def evaluate_predictor(self, predictor: prediction.PrecursorPredictor,
+                           evaluation: Context
+                           ) -> prediction.PredictionScore:
+        """Score a predictor by replaying an evaluation context."""
+        self._check_ready()
+        return prediction.evaluate_predictor(
+            predictor, self.events(evaluation)
+        )
+
+    def materialize_composites(
+        self, context: Context,
+        definitions: Sequence[CompositeEventDef],
+    ) -> list[CompositeMatch]:
+        """Detect composite event sequences and write them back as
+        first-class events (§V future work 1)."""
+        self._check_ready()
+        return materialize_composites(self.model, context, definitions,
+                                      registry=self.registry)
+
+    def application_profiles(self, context: Context
+                             ) -> dict[str, profiles.ApplicationProfile]:
+        """Per-application event-exposure profiles (§V future work 2)."""
+        self._check_ready()
+        return profiles.build_profiles(self.model, context)
+
+    def score_run_against_profile(
+        self, run: dict, profile: profiles.ApplicationProfile, **kw
+    ) -> list[profiles.RunAnomaly]:
+        self._check_ready()
+        return profiles.score_run(self.model, run, profile, **kw)
+
+    # -- frontend views ---------------------------------------------------------------
+
+    def render_heatmap(self, context: Context, title: str = "") -> str:
+        return self.system_map.render(self.heatmap(context, "node"), title)
+
+    def render_cabinet(self, context: Context, cabinet: str) -> str:
+        return self.system_map.render_cabinet(
+            cabinet, self.heatmap(context, "node")
+        )
+
+    def render_placement(self, ts: float) -> str:
+        """Fig 6 (bottom): the application placement snapshot at *ts*."""
+        self._check_ready()
+        allocations = {
+            f"{r['app']} ({r['apid']})": self.model.run_nodes(r)
+            for r in self.model.runs_running_at(ts)
+        }
+        return self.system_map.render_placement(allocations)
+
+    def render_temporal_map(self, context: Context, num_bins: int = 24,
+                            title: str = "") -> str:
+        edges, counts = self.time_histogram(context, num_bins)
+        return render_histogram(edges, counts, title=title)
+
+    def render_word_bubbles(self, context: Context, n: int = 10) -> str:
+        return render_word_bubbles(self.keywords(context, n))
+
+    def render_raw_log_table(self, context: Context, max_rows: int = 20
+                             ) -> str:
+        rows = self.events(context)
+        return render_table(rows, ["ts", "type", "source", "msg"], max_rows)
+
+    def render_event_type_map(self, context: Context) -> str:
+        """The §III-B event-types map: the catalogue with per-type
+        occurrence counts over the context's interval."""
+        self._check_ready()
+        from collections import Counter
+
+        # Drop any type narrowing: the map shows the whole catalogue.
+        full = Context(context.t0, context.t1, sources=context.sources,
+                       app=context.app, user=context.user)
+        counts: Counter[str] = Counter()
+        for row in full.events(self.model):
+            counts[row["type"]] += int(row.get("amount", 1))
+        return render_event_type_map(self.model.event_types(), counts)
+
+    # -- raw CQL escape hatch -------------------------------------------------------------
+
+    def cql(self, statement: str, params: Sequence[Any] = ()
+            ) -> list[dict[str, Any]]:
+        """Run one CQL statement against the backend (power users)."""
+        return self.session.execute(statement, params)

@@ -1,0 +1,238 @@
+"""Frontend renderers: the D3/HTML5 views as ASCII + JSON (paper §III-B).
+
+The real frontend draws a physical system map, a temporal map, event
+type / user/application maps, and a tabular raw-log view.  A browser UI
+is out of scope (DESIGN.md §7); these renderers produce the same
+*content* as terminal text and JSON-serializable structures, so every
+visual in Figs 5–7 has a programmatic equivalent the examples and
+benches can show:
+
+* :class:`PhysicalSystemMap` — the 25×8 cabinet grid with per-cabinet
+  intensity (heat maps, event occurrences, application placement) and a
+  per-cabinet drill-down to its 3 cages × 8 slots × 4 nodes;
+* :func:`render_histogram` — the temporal map's occurrence histogram;
+* :func:`render_word_bubbles` — Fig 7's keyword bubbles as ranked text;
+* :func:`render_table` — the tabular raw-log map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.titan.topology import (
+    CAGES_PER_CABINET,
+    NODES_PER_SLOT,
+    SLOTS_PER_CAGE,
+    NodeLocation,
+    TitanTopology,
+)
+
+from .analytics import group_key
+
+__all__ = [
+    "PhysicalSystemMap",
+    "render_histogram",
+    "render_word_bubbles",
+    "render_table",
+]
+
+_SHADES = " .:-=+*#%@"  # 10 intensity levels
+
+
+def _shade(value: float, vmax: float) -> str:
+    if vmax <= 0 or value <= 0:
+        return _SHADES[0]
+    level = int(round((value / vmax) * (len(_SHADES) - 1)))
+    return _SHADES[max(1, min(level, len(_SHADES) - 1))]
+
+
+class PhysicalSystemMap:
+    """The spatial view: cabinets in their machine-room grid."""
+
+    def __init__(self, topology: TitanTopology):
+        self.topology = topology
+
+    # -- aggregation ---------------------------------------------------------
+
+    def cabinet_grid(self, counts: Mapping[str, float]) -> np.ndarray:
+        """(rows × cols) matrix of per-cabinet totals.
+
+        ``counts`` may be keyed by any component granularity; values
+        roll up to the owning cabinet.
+        """
+        grid = np.zeros((self.topology.rows, self.topology.cols))
+        for component, value in counts.items():
+            cabinet = group_key(component, "cabinet")
+            try:
+                col, row = TitanTopology.parse_cabinet(cabinet)
+            except ValueError:
+                continue
+            if row < self.topology.rows and col < self.topology.cols:
+                grid[row, col] += value
+        return grid
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self, counts: Mapping[str, float], title: str = "") -> str:
+        """ASCII heat map over the cabinet grid (Fig 5/6 top-level view)."""
+        grid = self.cabinet_grid(counts)
+        vmax = float(grid.max())
+        lines = []
+        if title:
+            lines.append(title)
+        header = "      " + " ".join(f"c{c}" for c in range(self.topology.cols))
+        lines.append(header)
+        for row in range(self.topology.rows):
+            cells = "  ".join(
+                _shade(grid[row, col], vmax) for col in range(self.topology.cols)
+            )
+            lines.append(f"r{row:02d} | {cells} |")
+        lines.append(f"scale: ' '=0 … '@'={vmax:.0f}")
+        return "\n".join(lines)
+
+    def render_cabinet(self, cabinet: str, counts: Mapping[str, float],
+                       title: str = "") -> str:
+        """Drill-down: one cabinet's cages/slots/nodes (Fig 5 zoom)."""
+        per_node = {}
+        for component, value in counts.items():
+            try:
+                loc = NodeLocation.from_cname(component)
+            except ValueError:
+                continue
+            if loc.cabinet == cabinet:
+                per_node[loc] = per_node.get(loc, 0) + value
+        vmax = max(per_node.values(), default=0.0)
+        lines = [title or f"cabinet {cabinet}"]
+        col, row = TitanTopology.parse_cabinet(cabinet)
+        for cage in range(CAGES_PER_CABINET):
+            row_cells = []
+            for slot in range(SLOTS_PER_CAGE):
+                nodes = "".join(
+                    _shade(
+                        per_node.get(
+                            NodeLocation(col, row, cage, slot, node), 0.0
+                        ),
+                        vmax,
+                    )
+                    for node in range(NODES_PER_SLOT)
+                )
+                row_cells.append(nodes)
+            lines.append(f"cage{cage} | " + " | ".join(row_cells) + " |")
+        return "\n".join(lines)
+
+    def render_placement(self, allocations: Mapping[str, Sequence[str]]
+                         ) -> str:
+        """Application placement (Fig 6 bottom): one letter per app,
+        shown in each cabinet where it holds nodes."""
+        labels = {}
+        for i, app in enumerate(sorted(allocations)):
+            labels[app] = chr(ord("A") + i % 26)
+        cab_apps: dict[str, set[str]] = {}
+        for app, nodes in allocations.items():
+            for cname in nodes:
+                cab_apps.setdefault(group_key(cname, "cabinet"), set()).add(app)
+        lines = ["application placement (one letter per app, * = contended)"]
+        for row in range(self.topology.rows):
+            cells = []
+            for col in range(self.topology.cols):
+                apps = cab_apps.get(f"c{col}-{row}", set())
+                if not apps:
+                    cells.append(".")
+                elif len(apps) == 1:
+                    cells.append(labels[next(iter(apps))])
+                else:
+                    cells.append("*")
+            lines.append(f"r{row:02d} | " + "  ".join(cells) + " |")
+        legend = ", ".join(f"{labels[a]}={a}" for a in sorted(allocations))
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+    def to_json(self, counts: Mapping[str, float]) -> dict[str, Any]:
+        """The frontend wire format for a spatial heat map."""
+        grid = self.cabinet_grid(counts)
+        return {
+            "rows": self.topology.rows,
+            "cols": self.topology.cols,
+            "grid": grid.tolist(),
+            "max": float(grid.max()),
+        }
+
+
+def render_histogram(edges: np.ndarray, counts: np.ndarray,
+                     width: int = 50, title: str = "") -> str:
+    """The temporal map's histogram (Fig 5 bottom-right) as ASCII bars."""
+    counts = np.asarray(counts)
+    if counts.size == 0:
+        return "(no data)"
+    vmax = counts.max()
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * (int(count / vmax * width) if vmax else 0)
+        lines.append(
+            f"[{edges[i]:>10.0f}s .. {edges[i + 1]:>10.0f}s) "
+            f"{bar} {count}"
+        )
+    return "\n".join(lines)
+
+
+def render_word_bubbles(terms: Sequence[tuple[str, float]],
+                        title: str = "important words") -> str:
+    """Fig 7's word bubbles: rank-weighted keyword list.
+
+    Bubble "size" becomes a bar proportional to the term's weight.
+    """
+    if not terms:
+        return "(no terms)"
+    vmax = max(score for _t, score in terms)
+    lines = [title]
+    for term, score in terms:
+        size = int(score / vmax * 30) if vmax else 0
+        lines.append(f"  {term:<28} {'o' * max(1, size)} ({score:.1f})")
+    return "\n".join(lines)
+
+
+def render_event_type_map(type_rows: Sequence[Mapping[str, Any]],
+                          counts: Mapping[str, int],
+                          title: str = "event types") -> str:
+    """The event-types map (§III-B): the catalogue with per-type
+    occurrence counts for the selected interval, busiest first.
+
+    ``type_rows`` is ``LogDataModel.event_types()`` output; ``counts``
+    maps type name → occurrences in the context (types with no events
+    still listed, the map is how users discover what to select).
+    """
+    ordered = sorted(
+        type_rows, key=lambda r: (-counts.get(r["name"], 0), r["name"])
+    )
+    vmax = max(counts.values(), default=0)
+    lines = [title]
+    for row in ordered:
+        n = counts.get(row["name"], 0)
+        bar = _shade(n, vmax) * 3 if vmax else "   "
+        lines.append(
+            f"  {row['name']:<22} {row.get('severity', ''):<9} "
+            f"[{bar}] {n}"
+        )
+    return "\n".join(lines)
+
+
+def render_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str], max_rows: int = 20) -> str:
+    """The tabular map of raw log entries (Fig 7, bottom-left)."""
+    if not rows:
+        return "(no rows)"
+    shown = list(rows[:max_rows])
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in shown))
+        for c in columns
+    }
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    body = [
+        " | ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns)
+        for r in shown
+    ]
+    suffix = [] if len(rows) <= max_rows else [f"... ({len(rows) - max_rows} more)"]
+    return "\n".join([header, sep, *body, *suffix])

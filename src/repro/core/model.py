@@ -1,0 +1,323 @@
+"""The paper's data model: eight tables over the cassdb backend (§II-B).
+
+    nodeinfos                system topology (rack/cage/blade/node, routing)
+    eventtypes               the monitored event catalogue
+    eventsynopsis            per-hour, per-type occurrence summary
+    event_by_time            events partitioned by (hour, type)
+    event_by_location        events partitioned by (hour, source)
+    application_by_time      runs partitioned by hour
+    application_by_user      runs partitioned by user
+    application_by_location  runs partitioned by node
+
+The two event tables are the dual views of Fig 1: same events, hashed
+to partitions by hour+type or hour+source, rows clustered by timestamp
+inside each partition (a one-hour time series).  The three application
+tables are the denormalized views of Fig 2.
+
+:class:`LogDataModel` owns table creation, loading and the query
+helpers the analytics layer builds on.  It implements the ingest
+``EventSink`` protocol (``write_events``) so both ETL modes write
+through it.
+
+Design notes
+------------
+* Events carry a ``seq`` clustering column to disambiguate identical
+  timestamps (Cassandra practice: a time-series clustering key must be
+  unique within the partition).
+* A run that spans multiple hours appears in every hour's partition of
+  ``application_by_time`` (with ``is_start`` marking the first) —
+  the "set of denormalized views" §II-B describes, which makes
+  "who was running at time T" a single-partition read.
+* ``eventsynopsis`` is refreshed by an engine job over ``event_by_time``
+  (aggregation is the big-data unit's job, §III-C), not incremented
+  per write.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.cassdb import Cluster, ClusteringBound, TableSchema
+from repro.genlog.jobs import ApplicationRun
+from repro.genlog.templates import render_line
+from repro.titan.events import EventRegistry
+from repro.titan.topology import NodeLocation, TitanTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparklet import SparkletContext
+
+__all__ = ["TABLE_SCHEMAS", "LogDataModel"]
+
+
+TABLE_SCHEMAS: dict[str, TableSchema] = {
+    "nodeinfos": TableSchema(
+        "nodeinfos",
+        partition_key=("cname",),
+        description="Physical position and hardware of every node",
+    ),
+    "eventtypes": TableSchema(
+        "eventtypes",
+        partition_key=("name",),
+        description="Catalogue of monitored event types",
+    ),
+    "eventsynopsis": TableSchema(
+        "eventsynopsis",
+        partition_key=("hour",),
+        clustering_key=("type",),
+        key_codecs=(("hour", int),),
+        description="Per-hour per-type occurrence summary",
+    ),
+    "event_by_time": TableSchema(
+        "event_by_time",
+        partition_key=("hour", "type"),
+        clustering_key=("ts", "seq"),
+        key_codecs=(("hour", int),),
+        description="Events viewed by time: partition (hour, type)",
+    ),
+    "event_by_location": TableSchema(
+        "event_by_location",
+        partition_key=("hour", "source"),
+        clustering_key=("ts", "seq"),
+        key_codecs=(("hour", int),),
+        description="Events viewed by location: partition (hour, source)",
+    ),
+    "application_by_time": TableSchema(
+        "application_by_time",
+        partition_key=("hour",),
+        clustering_key=("start", "apid"),
+        key_codecs=(("hour", int),),
+        description="Application runs viewed by hour",
+    ),
+    "application_by_user": TableSchema(
+        "application_by_user",
+        partition_key=("user",),
+        clustering_key=("start", "apid"),
+        description="Application runs viewed by user",
+    ),
+    "application_by_location": TableSchema(
+        "application_by_location",
+        partition_key=("source",),
+        clustering_key=("start", "apid"),
+        description="Application runs viewed by node",
+    ),
+}
+
+
+class LogDataModel:
+    """The eight-table model bound to a cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._seq = itertools.count()
+
+    # -- schema ----------------------------------------------------------
+
+    def create_tables(self) -> None:
+        for schema in TABLE_SCHEMAS.values():
+            self.cluster.create_table(schema)
+
+    # -- reference data ------------------------------------------------------
+
+    def load_nodeinfos(self, topology: TitanTopology) -> int:
+        return self.cluster.insert_many(
+            "nodeinfos", topology.nodeinfo_rows()
+        )
+
+    def load_eventtypes(self, registry: EventRegistry) -> int:
+        return self.cluster.insert_many(
+            "eventtypes",
+            (
+                {
+                    "name": t.name,
+                    "category": t.category,
+                    "severity": t.severity.value,
+                    "source": t.source.value,
+                    "description": t.description,
+                    "base_rate": t.base_rate,
+                    "fatal_to_node": t.fatal_to_node,
+                }
+                for t in registry
+            ),
+        )
+
+    def nodeinfo(self, cname: str) -> dict[str, Any] | None:
+        rows = self.cluster.select_partition("nodeinfos", (cname,))
+        return rows[0] if rows else None
+
+    def event_types(self) -> list[dict[str, Any]]:
+        return sorted(
+            self.cluster.scan_table("eventtypes"), key=lambda r: r["name"]
+        )
+
+    # -- event ingestion (EventSink protocol) -------------------------------------
+
+    def write_events(self, events: Iterable) -> int:
+        """Persist events into both dual views (Fig 1).
+
+        Accepts anything with ``ts/type/component/amount/attrs``
+        attributes (generator events, parsed events).
+        """
+        n = 0
+        for event in events:
+            seq = next(self._seq)
+            hour = int(event.ts // 3600)
+            attrs_json = json.dumps(event.attrs, sort_keys=True) if event.attrs else None
+            base = {
+                "ts": float(event.ts),
+                "seq": seq,
+                "amount": int(getattr(event, "amount", 1)),
+            }
+            if attrs_json:
+                base["attrs"] = attrs_json
+            # Retain the raw message (semi-structured retention, §II-A);
+            # generator events are rendered on the fly so text mining has
+            # a corpus either way.
+            raw = getattr(event, "raw", None)
+            if raw is None:
+                raw = render_line(event).split(": ", 1)[-1]
+            base["msg"] = raw
+            self.cluster.insert(
+                "event_by_time",
+                {**base, "hour": hour, "type": event.type,
+                 "source": event.component},
+            )
+            self.cluster.insert(
+                "event_by_location",
+                {**base, "hour": hour, "source": event.component,
+                 "type": event.type},
+            )
+            n += 1
+        return n
+
+    # -- application ingestion --------------------------------------------------------
+
+    def write_applications(self, runs: Iterable[ApplicationRun]) -> int:
+        n = 0
+        for run in runs:
+            common = {
+                "start": run.start,
+                "apid": run.apid,
+                "end": run.end,
+                "app": run.app,
+                "user": run.user,
+                "num_nodes": run.num_nodes,
+                "nodes": json.dumps(run.nodes),
+                "exit_status": run.exit_status,
+            }
+            first_hour = int(run.start // 3600)
+            last_hour = int(max(run.start, run.end - 1e-9) // 3600)
+            for hour in range(first_hour, last_hour + 1):
+                self.cluster.insert(
+                    "application_by_time",
+                    {**common, "hour": hour, "is_start": hour == first_hour},
+                )
+            self.cluster.insert("application_by_user", common)
+            for cname in run.nodes:
+                self.cluster.insert(
+                    "application_by_location", {**common, "source": cname}
+                )
+            n += 1
+        return n
+
+    # -- event queries ------------------------------------------------------------
+
+    def events_of_type(self, event_type: str, t0: float, t1: float
+                       ) -> Iterator[dict[str, Any]]:
+        """Events of one type in [t0, t1): one partition read per hour."""
+        if t1 <= t0:
+            return
+        for hour in range(int(t0 // 3600), int((t1 - 1e-9) // 3600) + 1):
+            yield from self.cluster.select_partition(
+                "event_by_time", (hour, event_type),
+                lower=ClusteringBound((t0,)),
+                upper=ClusteringBound((t1,), inclusive=False),
+            )
+
+    def events_at_location(self, source: str, t0: float, t1: float
+                           ) -> Iterator[dict[str, Any]]:
+        """All events at one component in [t0, t1), any type."""
+        if t1 <= t0:
+            return
+        for hour in range(int(t0 // 3600), int((t1 - 1e-9) // 3600) + 1):
+            yield from self.cluster.select_partition(
+                "event_by_location", (hour, source),
+                lower=ClusteringBound((t0,)),
+                upper=ClusteringBound((t1,), inclusive=False),
+            )
+
+    # -- application queries ----------------------------------------------------------
+
+    @staticmethod
+    def _dedupe_runs(rows: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+        seen: set[int] = set()
+        out = []
+        for row in rows:
+            if row["apid"] in seen:
+                continue
+            seen.add(row["apid"])
+            out.append(row)
+        return out
+
+    def runs_in_interval(self, t0: float, t1: float) -> list[dict[str, Any]]:
+        """Runs overlapping [t0, t1), deduplicated across hour partitions."""
+        if t1 <= t0:
+            return []
+        rows: list[dict[str, Any]] = []
+        for hour in range(int(t0 // 3600), int((t1 - 1e-9) // 3600) + 1):
+            rows.extend(
+                self.cluster.select_partition("application_by_time", (hour,))
+            )
+        return self._dedupe_runs(
+            r for r in rows if r["start"] < t1 and r["end"] > t0
+        )
+
+    def runs_running_at(self, ts: float) -> list[dict[str, Any]]:
+        """Placement snapshot: runs active at *ts* (Fig 6, bottom)."""
+        rows = self.cluster.select_partition(
+            "application_by_time", (int(ts // 3600),)
+        )
+        return self._dedupe_runs(
+            r for r in rows if r["start"] <= ts < r["end"]
+        )
+
+    def runs_of_user(self, user: str, t0: float | None = None,
+                     t1: float | None = None) -> list[dict[str, Any]]:
+        lower = ClusteringBound((t0,)) if t0 is not None else None
+        upper = (ClusteringBound((t1,), inclusive=False)
+                 if t1 is not None else None)
+        return self.cluster.select_partition(
+            "application_by_user", (user,), lower=lower, upper=upper
+        )
+
+    def runs_on_node(self, cname: str) -> list[dict[str, Any]]:
+        return self.cluster.select_partition(
+            "application_by_location", (cname,)
+        )
+
+    @staticmethod
+    def run_nodes(run_row: dict[str, Any]) -> list[str]:
+        """Decode the JSON-encoded allocation of a run row."""
+        return json.loads(run_row["nodes"])
+
+    # -- synopsis ----------------------------------------------------------------------
+
+    def refresh_synopsis(self, sc: "SparkletContext") -> int:
+        """Recompute ``eventsynopsis`` from ``event_by_time`` with an
+        engine aggregation job; returns rows written."""
+        rows = (
+            sc.cassandraTable("event_by_time")
+            .map(lambda r: ((r["hour"], r["type"]),
+                            (1, r.get("amount", 1))))
+            .reduceByKey(lambda a, b: (a[0] + b[0], a[1] + b[1]))
+            .map(lambda kv: {
+                "hour": kv[0][0], "type": kv[0][1],
+                "occurrences": kv[1][0], "total_amount": kv[1][1],
+            })
+            .collect()
+        )
+        return self.cluster.insert_many("eventsynopsis", rows)
+
+    def synopsis_for_hour(self, hour: int) -> list[dict[str, Any]]:
+        return self.cluster.select_partition("eventsynopsis", (hour,))

@@ -1,0 +1,270 @@
+"""The analytics server: async JSON request routing (paper §III, Fig 3).
+
+"The analytics server consists of a web server, a query processing
+engine, and a big data processing engine.  The user queries are
+received by the web server, translated by the query engine, and either
+forwarded to the backend database, or the big data processing unit
+depending on the type of a user query."
+
+This module reproduces that division without a network socket: an
+:class:`AnalyticsServer` accepts JSON-shaped requests (dicts), routes
+**simple** operations (single-partition context reads, metadata) to the
+query engine inline, and **complex** operations (heat maps, transfer
+entropy, text mining — anything that fans out over the data) through
+``asyncio.to_thread`` so the event loop stays responsive, the same
+non-blocking property Tornado gives the real system for "numerous
+users, who may require long-lived connections".
+
+Responses are JSON-serializable dicts: ``{"ok": true, "result": …,
+"elapsed_ms": …}`` — "Query results are sent in JSON object format to
+avoid data format conversion at the frontend."
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from .context import Context
+from .framework import LogAnalyticsFramework
+
+__all__ = ["AnalyticsServer", "SIMPLE_OPS", "COMPLEX_OPS"]
+
+SIMPLE_OPS = frozenset({
+    "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
+})
+COMPLEX_OPS = frozenset({
+    "heatmap", "heatmap_grid", "distribution", "distribution_by_application",
+    "histogram", "hotspots", "transfer_entropy", "cross_correlation",
+    "keywords", "association_rules", "placement", "refresh_synopsis",
+    "mine_precursors", "application_profiles", "materialize_composites",
+})
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy/containers into plain JSON-serializable types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, frozenset):
+        return sorted(value)
+    return value
+
+
+class AnalyticsServer:
+    """JSON-request facade over a :class:`LogAnalyticsFramework`."""
+
+    def __init__(self, framework: LogAnalyticsFramework):
+        self.framework = framework
+        self.requests_served = 0
+        self.errors = 0
+        # op -> list of latencies (ms); the F3 bench reads this.
+        self.latencies_ms: dict[str, list[float]] = {}
+
+    # -- request entry points ------------------------------------------------
+
+    async def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Serve one JSON request asynchronously."""
+        start = time.perf_counter()
+        op = request.get("op")
+        try:
+            if not isinstance(op, str) or (
+                op not in SIMPLE_OPS and op not in COMPLEX_OPS
+            ):
+                raise ValueError(f"unknown op: {op!r}")
+            handler = getattr(self, f"_op_{op}")
+            if op in SIMPLE_OPS:
+                result = handler(request)
+            else:
+                # Complex analytics leave the event loop free (Tornado's
+                # non-blocking I/O property).
+                result = await asyncio.to_thread(handler, request)
+            response = {"ok": True, "result": _jsonable(result)}
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            self.errors += 1
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        elapsed = (time.perf_counter() - start) * 1000.0
+        response["elapsed_ms"] = elapsed
+        self.requests_served += 1
+        if isinstance(op, str):
+            self.latencies_ms.setdefault(op, []).append(elapsed)
+        return response
+
+    def handle_sync(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Blocking convenience wrapper (tests, benches, scripts)."""
+        return asyncio.run(self.handle(request))
+
+    async def handle_many(self, requests: list[dict[str, Any]]
+                          ) -> list[dict[str, Any]]:
+        """Serve a batch concurrently (long-poll style clients)."""
+        return list(await asyncio.gather(*(self.handle(r) for r in requests)))
+
+    # -- helpers --------------------------------------------------------------
+
+    def _context(self, request: dict[str, Any]) -> Context:
+        payload = request.get("context")
+        if not isinstance(payload, dict):
+            raise ValueError("request requires a 'context' object")
+        return Context.from_json(payload)
+
+    # -- simple ops -------------------------------------------------------------
+
+    def _op_ping(self, request):
+        return "pong"
+
+    def _op_event_types(self, request):
+        return self.framework.model.event_types()
+
+    def _op_nodeinfo(self, request):
+        cname = request.get("cname")
+        if not cname:
+            raise ValueError("nodeinfo requires 'cname'")
+        info = self.framework.model.nodeinfo(cname)
+        if info is None:
+            raise KeyError(f"unknown node: {cname}")
+        return info
+
+    def _op_events(self, request):
+        rows = self.framework.events(self._context(request))
+        limit = request.get("limit")
+        return rows[:limit] if limit else rows
+
+    def _op_runs(self, request):
+        return self.framework.runs(self._context(request))
+
+    def _op_synopsis(self, request):
+        hour = request.get("hour")
+        if hour is None:
+            raise ValueError("synopsis requires 'hour'")
+        return self.framework.model.synopsis_for_hour(int(hour))
+
+    def _op_cql(self, request):
+        statement = request.get("statement")
+        if not statement:
+            raise ValueError("cql requires 'statement'")
+        return self.framework.cql(statement, request.get("params", ()))
+
+    # -- complex ops (big data processing unit) -------------------------------------
+
+    def _op_heatmap(self, request):
+        return self.framework.heatmap(
+            self._context(request), request.get("granularity", "node")
+        )
+
+    def _op_heatmap_grid(self, request):
+        counts = self.framework.heatmap(self._context(request), "node")
+        return self.framework.system_map.to_json(counts)
+
+    def _op_distribution(self, request):
+        return self.framework.distribution(
+            self._context(request), request.get("granularity", "cabinet")
+        )
+
+    def _op_distribution_by_application(self, request):
+        return self.framework.distribution_by_application(
+            self._context(request)
+        )
+
+    def _op_histogram(self, request):
+        edges, counts = self.framework.time_histogram(
+            self._context(request), request.get("num_bins", 48)
+        )
+        return {"edges": edges, "counts": counts}
+
+    def _op_hotspots(self, request):
+        hotspots = self.framework.hotspots(
+            self._context(request),
+            request.get("granularity", "node"),
+            request.get("z_threshold", 4.0),
+        )
+        return [asdict(h) for h in hotspots]
+
+    def _op_transfer_entropy(self, request):
+        result = self.framework.transfer_entropy(
+            self._context(request),
+            request["source_type"], request["target_type"],
+            bin_seconds=request.get("bin_seconds", 60.0),
+            n_shuffles=request.get("n_shuffles", 100),
+        )
+        return asdict(result)
+
+    def _op_cross_correlation(self, request):
+        return self.framework.cross_correlation(
+            self._context(request),
+            request["type_a"], request["type_b"],
+            bin_seconds=request.get("bin_seconds", 60.0),
+            max_lag=request.get("max_lag", 10),
+        )
+
+    def _op_keywords(self, request):
+        return self.framework.keywords(
+            self._context(request), request.get("n", 10),
+            request.get("use_tf_idf", True),
+        )
+
+    def _op_association_rules(self, request):
+        rules = self.framework.association_rules(
+            self._context(request),
+            window_seconds=request.get("window_seconds", 120.0),
+            min_support=request.get("min_support", 0.001),
+            min_confidence=request.get("min_confidence", 0.3),
+        )
+        return [asdict(r) for r in rules]
+
+    def _op_placement(self, request):
+        ts = request.get("ts")
+        if ts is None:
+            raise ValueError("placement requires 'ts'")
+        runs = self.framework.model.runs_running_at(float(ts))
+        return [
+            {"apid": r["apid"], "app": r["app"], "user": r["user"],
+             "nodes": self.framework.model.run_nodes(r)}
+            for r in runs
+        ]
+
+    def _op_refresh_synopsis(self, request):
+        return self.framework.refresh_synopsis()
+
+    def _op_mine_precursors(self, request):
+        rules = self.framework.mine_precursors(
+            self._context(request),
+            lead_window=request.get("lead_window", 120.0),
+            min_support=request.get("min_support", 3),
+        )
+        return [asdict(r) for r in rules]
+
+    def _op_application_profiles(self, request):
+        profiles = self.framework.application_profiles(
+            self._context(request))
+        return {app: p.as_dict() for app, p in profiles.items()}
+
+    def _op_materialize_composites(self, request):
+        from .composite import CompositeEventDef
+
+        definitions = [
+            CompositeEventDef(
+                name=d["name"], sequence=tuple(d["sequence"]),
+                window=float(d["window"]),
+            )
+            for d in request.get("definitions", [])
+        ]
+        if not definitions:
+            raise ValueError("materialize_composites requires 'definitions'")
+        matches = self.framework.materialize_composites(
+            self._context(request), definitions)
+        return [
+            {"type": m.type, "component": m.component, "ts": m.ts,
+             "span": m.span}
+            for m in matches
+        ]

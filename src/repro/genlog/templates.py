@@ -1,0 +1,175 @@
+"""Raw log line templates: events → unstructured console/netwatch text.
+
+The paper stresses that "most log entries are not set up to be
+understood easily by humans, with some entries consisting of numeric
+values while others include cryptic text, hexadecimal codes, or error
+codes."  These templates render structured synthetic events into
+exactly that kind of line, modelled on public Cray/Linux/Lustre log
+formats, so the ingest parsers (``repro.ingest.parsers``) have real
+work to do — and so text mining over Lustre storms (Fig 7, bottom) has
+tokens like OST ids to discover.
+
+Line grammar (all sources)::
+
+    <iso8601 timestamp> <component> <SOURCE>: <free-form payload>
+
+The payload is event-type specific and includes the fields the parsers
+must recover (hex addresses, error codes, OST names, exit codes, ...).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .generator import GeneratedEvent
+
+__all__ = ["render_line", "iso_ts", "EPOCH"]
+
+# The simulation's time origin.  Any fixed instant works; pinning one
+# keeps rendered timestamps (and therefore parsing) deterministic.
+EPOCH = datetime(2017, 3, 1, 0, 0, 0, tzinfo=timezone.utc).timestamp()
+
+
+def iso_ts(ts: float) -> str:
+    """Render simulation-seconds as the ISO-8601 stamp logs carry."""
+    return datetime.fromtimestamp(EPOCH + ts, tz=timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%S.%f"
+    )[:-3]
+
+
+def _mce(e: "GeneratedEvent") -> str:
+    bank = e.attrs.get("bank", 4)
+    status = e.attrs.get("status", 0xB200000000070F0F)
+    return (f"Machine Check Exception: CPU {e.attrs.get('cpu', 0)} "
+            f"Bank {bank}: {status:#018x} MISC {e.attrs.get('misc', 0xD012000100000000):#x}")
+
+
+def _dram_ce(e: "GeneratedEvent") -> str:
+    return (f"EDAC amd64 MC{e.attrs.get('mc', 0)}: CE ERROR_ADDRESS= "
+            f"{e.attrs.get('addr', 0x1A2B3C4D5E):#x} row {e.attrs.get('row', 12)} "
+            f"channel {e.attrs.get('channel', 1)} (corrected DRAM ECC error) "
+            f"errors:{e.amount}")
+
+
+def _dram_ue(e: "GeneratedEvent") -> str:
+    return (f"EDAC amd64 MC{e.attrs.get('mc', 0)}: UE ERROR_ADDRESS= "
+            f"{e.attrs.get('addr', 0xDEADBEEF00):#x} (uncorrectable DRAM ECC error) "
+            f"page {e.attrs.get('page', 0x7F3A2):#x}")
+
+
+def _gpu_xid(e: "GeneratedEvent") -> str:
+    return (f"NVRM: Xid (PCI:0000:02:00): {e.attrs.get('xid', 13)}, "
+            f"Graphics Exception on GPC {e.attrs.get('gpc', 0)}")
+
+
+def _gpu_dbe(e: "GeneratedEvent") -> str:
+    return (f"NVRM: Xid (PCI:0000:02:00): 48, Double Bit ECC Error "
+            f"addr {e.attrs.get('addr', 0x1BADC0DE):#x}")
+
+
+def _gpu_sbe(e: "GeneratedEvent") -> str:
+    return (f"NVRM: GPU ECC SBE corrected addr {e.attrs.get('addr', 0xC0FFEE):#x} "
+            f"count {e.amount}")
+
+
+def _gpu_off_bus(e: "GeneratedEvent") -> str:
+    return "NVRM: GPU has fallen off the bus. GPU is not accessible"
+
+
+def _lustre(e: "GeneratedEvent") -> str:
+    ost = e.attrs.get("ost", "atlas-OST0042")
+    rc = e.attrs.get("rc", -110)
+    return (f"LustreError: {e.attrs.get('pid', 11203)}:0:(client.c:1123:"
+            f"ptlrpc_expire_one_request()) @@@ Request sent has timed out: "
+            f"[sent {int(e.ts)}] req@ffff8803 x1551/t0 o400->{ost}"
+            f"@10.36.226.77@o2ib: rc {rc}")
+
+
+def _lbug(e: "GeneratedEvent") -> str:
+    return ("LustreError: 4521:0:(ldlm_lock.c:231:ldlm_lock_put()) "
+            "ASSERTION( lock->l_refc > 0 ) failed: LBUG")
+
+
+def _dvs(e: "GeneratedEvent") -> str:
+    return (f"DVS: file_node_down: removing {e.attrs.get('server', 'dvs01')} "
+            f"from list of available servers for 2 mount points")
+
+
+def _net_link_fail(e: "GeneratedEvent") -> str:
+    return (f"[c]HW ERROR: Gemini LCB lcb{e.attrs.get('lcb', '023')} "
+            f"link failed on {e.attrs.get('gemini', e.component)}; "
+            f"initiating route recompute")
+
+
+def _net_lane_degrade(e: "GeneratedEvent") -> str:
+    return (f"netwatch: lane degrade on {e.attrs.get('gemini', e.component)} "
+            f"lanes 2->1, BER {e.attrs.get('ber', '1.2e-7')}")
+
+
+def _net_throttle(e: "GeneratedEvent") -> str:
+    return (f"netwatch: congestion throttle engaged, ejection fifo "
+            f"watermark {e.attrs.get('watermark', 87)}%")
+
+
+def _kernel_panic(e: "GeneratedEvent") -> str:
+    return (f"Kernel panic - not syncing: Fatal exception in interrupt "
+            f"RIP {e.attrs.get('rip', 0xFFFFFFFF810A2B3C):#x}")
+
+
+def _oom(e: "GeneratedEvent") -> str:
+    return (f"Out of memory: Kill process {e.attrs.get('pid', 23981)} "
+            f"({e.attrs.get('proc', 'xhpl')}) score {e.attrs.get('score', 912)} "
+            f"or sacrifice child")
+
+
+def _segfault(e: "GeneratedEvent") -> str:
+    return (f"{e.attrs.get('proc', 'a.out')}[{e.attrs.get('pid', 17762)}]: "
+            f"segfault at {e.attrs.get('addr', 0x10):#x} ip "
+            f"{e.attrs.get('ip', 0x400B32):#x} sp {e.attrs.get('sp', 0x7FFF1234):#x} "
+            f"error 4")
+
+
+def _app_abort(e: "GeneratedEvent") -> str:
+    return (f"aprun: Apid {e.attrs.get('apid', 5551234)}: Caught signal "
+            f"Terminated, sending to application; exit code "
+            f"{e.attrs.get('exit_code', 137)}")
+
+
+def _heartbeat(e: "GeneratedEvent") -> str:
+    return (f"ec_node_failed: heartbeat fault for {e.component}, "
+            f"marking node down (alert {e.attrs.get('alert', 0x3E8):#x})")
+
+
+_RENDERERS: dict[str, Callable[["GeneratedEvent"], str]] = {
+    "MCE": _mce,
+    "DRAM_CE": _dram_ce,
+    "DRAM_UE": _dram_ue,
+    "GPU_XID": _gpu_xid,
+    "GPU_DBE": _gpu_dbe,
+    "GPU_SBE": _gpu_sbe,
+    "GPU_OFF_BUS": _gpu_off_bus,
+    "LUSTRE_ERR": _lustre,
+    "LBUG": _lbug,
+    "DVS_ERR": _dvs,
+    "NET_LINK_FAIL": _net_link_fail,
+    "NET_LANE_DEGRADE": _net_lane_degrade,
+    "NET_THROTTLE": _net_throttle,
+    "KERNEL_PANIC": _kernel_panic,
+    "OOM": _oom,
+    "SEGFAULT": _segfault,
+    "APP_ABORT": _app_abort,
+    "HEARTBEAT_FAULT": _heartbeat,
+}
+
+
+def render_line(event: "GeneratedEvent") -> str:
+    """Render one structured event as a raw (unstructured) log line."""
+    renderer = _RENDERERS.get(event.type)
+    payload = (
+        renderer(event) if renderer
+        else f"{event.type}: unclassified event amount={event.amount}"
+    )
+    source = event.source.value if hasattr(event.source, "value") else event.source
+    return f"{iso_ts(event.ts)} {event.component} {source}: {payload}"

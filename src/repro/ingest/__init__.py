@@ -1,0 +1,26 @@
+"""ingest — ETL from raw logs into the analytics backend (paper §III-D).
+
+Batch mode: regex parsing per event type, engine-parallel, optional
+coalescing.  Streaming mode: bus subscription → 1-second micro-batches
+→ coalescing → sink.
+"""
+
+from .batch import IngestStats, batch_ingest, coalesce_events, serial_ingest
+from .parsers import LineParser, ParsedEvent, default_parser
+from .sink import EventSink, ListSink
+from .streaming import LogProducer, StreamStats, StreamingIngestor
+
+__all__ = [
+    "EventSink",
+    "IngestStats",
+    "LineParser",
+    "ListSink",
+    "LogProducer",
+    "ParsedEvent",
+    "StreamStats",
+    "StreamingIngestor",
+    "batch_ingest",
+    "coalesce_events",
+    "default_parser",
+    "serial_ingest",
+]

@@ -1,0 +1,36 @@
+"""Event sinks: where ingested events land.
+
+Ingest is decoupled from the database model through this tiny protocol
+so the ETL pipelines can be tested against an in-memory list and wired
+to the real eight-table model (``repro.core.model.LogDataModel``) by the
+framework.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+__all__ = ["EventSink", "ListSink"]
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that can persist a batch of structured events."""
+
+    def write_events(self, events: Iterable) -> int:
+        """Persist events; returns the number written."""
+        ...  # pragma: no cover
+
+
+class ListSink:
+    """Collects events in memory (testing / inspection)."""
+
+    def __init__(self):
+        self.events: list = []
+
+    def write_events(self, events: Iterable) -> int:
+        n = 0
+        for event in events:
+            self.events.append(event)
+            n += 1
+        return n

@@ -1,0 +1,48 @@
+"""sparklet — a Spark-model in-memory DAG engine (in-process).
+
+Implements the paper's "big data processing unit": lazy RDDs with
+MapReduce-style transformations, a DAG scheduler that splits jobs into
+stages at shuffle boundaries, locality-aware task placement against the
+cassdb replica map, broadcast variables, accumulators, and micro-batch
+stream processing (``repro.sparklet.streaming``).
+
+Quick use::
+
+    from repro.sparklet import SparkletContext
+
+    sc = SparkletContext(4)
+    counts = (
+        sc.parallelize(open_lines)
+          .flatMap(str.split)
+          .map(lambda w: (w, 1))
+          .reduceByKey(lambda a, b: a + b)
+          .collect()
+    )
+"""
+
+from .accumulator import Accumulator
+from .broadcast import Broadcast
+from .context import SparkletContext
+from .executor import TaskContext, TaskMetrics, WorkerPool
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .rdd import RDD, StatCounter
+from .scheduler import DAGScheduler, EngineMetrics
+from .sources import CassandraTableRDD, TextFileRDD
+
+__all__ = [
+    "Accumulator",
+    "Broadcast",
+    "CassandraTableRDD",
+    "DAGScheduler",
+    "EngineMetrics",
+    "HashPartitioner",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+    "SparkletContext",
+    "StatCounter",
+    "TaskContext",
+    "TaskMetrics",
+    "TextFileRDD",
+    "WorkerPool",
+]

@@ -1,0 +1,46 @@
+"""Accumulators: write-only shared counters updated from tasks.
+
+Tasks run on pool threads, so updates are guarded by a lock.  Supports
+any associative ``add`` via an ``AccumulatorParam``-style merge
+function (default: ``operator.add``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Accumulator"]
+
+
+class Accumulator(Generic[T]):
+    """Thread-safe associative accumulator."""
+
+    def __init__(self, initial: T, acc_id: int,
+                 merge: Callable[[T, Any], T] | None = None):
+        self._value = initial
+        self.id = acc_id
+        self._merge = merge or (lambda a, b: a + b)
+        self._lock = threading.Lock()
+
+    def add(self, delta: Any) -> None:
+        with self._lock:
+            self._value = self._merge(self._value, delta)
+
+    def __iadd__(self, delta: Any) -> "Accumulator[T]":
+        self.add(delta)
+        return self
+
+    @property
+    def value(self) -> T:
+        with self._lock:
+            return self._value
+
+    def reset(self, value: T) -> None:
+        with self._lock:
+            self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Accumulator id={self.id} value={self.value!r}>"

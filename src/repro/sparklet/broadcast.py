@@ -1,0 +1,40 @@
+"""Broadcast variables: read-only values shared across tasks.
+
+In real Spark a broadcast ships one copy of a value per executor
+instead of per task.  In-process the value is simply shared, but the
+abstraction is kept so analytics code (e.g. the nodeinfo map used for
+spatial joins) reads identically to PySpark, and ``unpersist``
+semantics can be tested.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Broadcast"]
+
+
+class Broadcast(Generic[T]):
+    """A handle to a read-only shared value."""
+
+    def __init__(self, value: T, bc_id: int):
+        self._value = value
+        self.id = bc_id
+        self._valid = True
+
+    @property
+    def value(self) -> T:
+        if not self._valid:
+            raise RuntimeError(f"broadcast {self.id} was destroyed")
+        return self._value
+
+    def unpersist(self) -> None:
+        """Release the value (accessing it afterwards is an error)."""
+        self._valid = False
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "valid" if self._valid else "destroyed"
+        return f"<Broadcast id={self.id} [{state}]>"

@@ -1,0 +1,187 @@
+"""DAG scheduler: stages, shuffles, and locality-aware task placement.
+
+Walks an action's lineage graph, materializes every shuffle dependency
+bottom-up (each shuffle's map side is one *stage*), then runs the final
+result stage.  This mirrors Spark's ``DAGScheduler``:
+
+* narrow transformations pipeline into a single task — no data touches
+  the "network" between a ``map`` and the ``filter`` above it;
+* every :class:`~repro.sparklet.rdd.ShuffledRDD` cuts a stage boundary;
+  its map stage partitions (and optionally map-side-combines) parent
+  records into per-reduce-partition blocks held by the in-memory
+  shuffle service;
+* tasks carry the preferred worker of their partition, and the worker
+  pool's placement policy decides whether that preference is honoured
+  (the Fig-4 / S4 locality story).
+
+Shuffle outputs are cached per ``shuffle_id`` so re-running an action
+over the same lineage skips completed stages, like Spark's stage reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .executor import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkletContext
+    from .rdd import RDD, ShuffledRDD
+
+__all__ = ["EngineMetrics", "DAGScheduler"]
+
+
+@dataclass
+class EngineMetrics:
+    """Cumulative engine counters (reset with ``reset()``)."""
+
+    jobs: int = 0
+    stages: int = 0
+    tasks: int = 0
+    records_read: int = 0
+    shuffle_records_written: int = 0
+    shuffle_records_read: int = 0
+    local_tasks: int = 0      # ran on their preferred worker
+    remote_tasks: int = 0     # had a preference but ran elsewhere
+    unplaced_tasks: int = 0   # no locality preference
+    remote_records: int = 0   # records fetched across "the network"
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+    @property
+    def locality_fraction(self) -> float:
+        placed = self.local_tasks + self.remote_tasks
+        return self.local_tasks / placed if placed else 1.0
+
+
+class DAGScheduler:
+    """Materializes shuffle stages and runs result stages."""
+
+    def __init__(self, ctx: "SparkletContext"):
+        self.ctx = ctx
+        # shuffle_id -> list over map tasks of list over reduce partitions
+        # of blocks (lists of records / combined pairs).
+        self._shuffle_outputs: dict[int, list[list[list]]] = {}
+        self._lock = threading.RLock()
+
+    # -- public API ---------------------------------------------------------
+
+    def run_job(self, rdd: "RDD", indices: Sequence[int] | None = None
+                ) -> list[list]:
+        """Compute the given partitions of *rdd* (all by default)."""
+        with self._lock:
+            self._prepare_shuffles(rdd)
+            self.ctx.metrics.jobs += 1
+            if indices is None:
+                indices = range(rdd.num_partitions)
+            return self._run_stage(rdd, list(indices))
+
+    def fetch_shuffle(self, shuffle_id: int, reduce_index: int) -> list[list]:
+        """All map-output blocks destined for one reduce partition."""
+        outputs = self._shuffle_outputs[shuffle_id]
+        return [map_out[reduce_index] for map_out in outputs]
+
+    def clear_shuffle_state(self) -> None:
+        """Drop cached shuffle outputs (frees memory between experiments)."""
+        with self._lock:
+            self._shuffle_outputs.clear()
+
+    # -- stage construction ---------------------------------------------------
+
+    def _prepare_shuffles(self, rdd: "RDD") -> None:
+        """Depth-first: materialize every unfinished shuffle below *rdd*."""
+        from .rdd import ShuffledRDD
+
+        stack: list[RDD] = [rdd]
+        order: list[ShuffledRDD] = []
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node.rdd_id in seen:
+                continue
+            seen.add(node.rdd_id)
+            if isinstance(node, ShuffledRDD):
+                if node.shuffle_id not in self._shuffle_outputs:
+                    order.append(node)
+            # A cached, fully-computed RDD still has its lineage walked;
+            # that is harmless because shuffle outputs are also cached.
+            stack.extend(node.deps)
+        # Deepest shuffles must run first: `order` was discovered top-down,
+        # so reverse it.
+        for shuffled in reversed(order):
+            self._run_map_stage(shuffled)
+
+    def _run_map_stage(self, shuffled: "ShuffledRDD") -> None:
+        parent = shuffled.parent
+        partitioner = shuffled.partitioner
+        aggregator = shuffled.aggregator
+        num_reduce = partitioner.num_partitions
+
+        def make_task(map_index: int):
+            def task(tc: TaskContext) -> list[list]:
+                buckets: list = [None] * num_reduce
+                if aggregator is None:
+                    for i in range(num_reduce):
+                        buckets[i] = []
+                    for record in parent.iterator(map_index, tc):
+                        key = record[0]
+                        buckets[partitioner.partition(key)].append(record)
+                    tc.metrics.shuffle_records_written += sum(
+                        len(b) for b in buckets
+                    )
+                    return buckets
+                # Map-side combine: one dict per reduce bucket.
+                dicts: list[dict] = [dict() for _ in range(num_reduce)]
+                for key, value in parent.iterator(map_index, tc):
+                    bucket = dicts[partitioner.partition(key)]
+                    if key in bucket:
+                        bucket[key] = aggregator.merge_value(bucket[key], value)
+                    else:
+                        bucket[key] = aggregator.create_combiner(value)
+                out = [list(d.items()) for d in dicts]
+                tc.metrics.shuffle_records_written += sum(len(b) for b in out)
+                return out
+
+            return task
+
+        tasks = [
+            (make_task(i), parent.preferred_worker(i), i)
+            for i in range(parent.num_partitions)
+        ]
+        results, contexts = self.ctx.pool.run_tasks(tasks)
+        self._shuffle_outputs[shuffled.shuffle_id] = results
+        self._record_stage(tasks, contexts)
+
+    def _run_stage(self, rdd: "RDD", indices: list[int]) -> list[list]:
+        def make_task(index: int):
+            def task(tc: TaskContext) -> list:
+                return list(rdd.iterator(index, tc))
+
+            return task
+
+        tasks = [(make_task(i), rdd.preferred_worker(i), i) for i in indices]
+        results, contexts = self.ctx.pool.run_tasks(tasks)
+        self._record_stage(tasks, contexts)
+        return results
+
+    # -- metrics ----------------------------------------------------------------
+
+    def _record_stage(self, tasks, contexts: list[TaskContext]) -> None:
+        m = self.ctx.metrics
+        m.stages += 1
+        m.tasks += len(tasks)
+        for (_fn, preferred, _idx), tc in zip(tasks, contexts):
+            if preferred is None:
+                m.unplaced_tasks += 1
+            elif tc.worker == preferred:
+                m.local_tasks += 1
+            else:
+                m.remote_tasks += 1
+            m.records_read += tc.metrics.records_read
+            m.shuffle_records_written += tc.metrics.shuffle_records_written
+            m.shuffle_records_read += tc.metrics.shuffle_records_read
+            m.remote_records += tc.metrics.remote_records

@@ -1,0 +1,294 @@
+"""Micro-batch stream processing (Spark Streaming model).
+
+The paper's real-time ingest sets "the time window of the Spark
+streaming … to one second" and coalesces same-(type, location, second)
+occurrences (§III-D).  This module provides that machinery:
+
+* a :class:`StreamingContext` drives a **logical clock** — batches are
+  processed when the test/driver calls :meth:`StreamingContext.advance`,
+  so pipelines are deterministic (no wall-clock races);
+* :class:`DStream` nodes form an operator graph; each batch interval the
+  graph turns buffered input records into an RDD per stream and runs
+  the registered outputs;
+* windows (``window``, ``reduceByKeyAndWindow``, ``countByWindow``) and
+  per-key state (``updateStateByKey``) cover the online-analytics hooks
+  §III-D says the framework will grow.
+
+Timestamps are plain floats (seconds).  A record pushed at time *t*
+belongs to the batch covering ``[k·interval, (k+1)·interval)`` with
+``k = floor(t / interval)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+from .rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkletContext
+
+__all__ = ["StreamingContext", "DStream", "InputDStream"]
+
+
+class DStream:
+    """A discretized stream: one RDD per batch interval."""
+
+    def __init__(self, ssc: "StreamingContext", parents: list["DStream"]):
+        self.ssc = ssc
+        self.parents = parents
+        ssc._register(self)
+
+    # -- per-batch computation (overridden by subclasses) ------------------
+
+    def compute(self, batch_index: int) -> RDD | None:
+        raise NotImplementedError
+
+    def _parent_rdd(self, batch_index: int) -> RDD | None:
+        return self.ssc._rdd_for(self.parents[0], batch_index)
+
+    # -- transformations ------------------------------------------------------
+
+    def transform(self, f: Callable[[RDD], RDD]) -> "DStream":
+        return TransformedDStream(self, f)
+
+    def map(self, f) -> "DStream":
+        return self.transform(lambda rdd: rdd.map(f))
+
+    def flatMap(self, f) -> "DStream":
+        return self.transform(lambda rdd: rdd.flatMap(f))
+
+    def filter(self, f) -> "DStream":
+        return self.transform(lambda rdd: rdd.filter(f))
+
+    def mapPartitions(self, f) -> "DStream":
+        return self.transform(lambda rdd: rdd.mapPartitions(f))
+
+    def reduceByKey(self, f) -> "DStream":
+        return self.transform(lambda rdd: rdd.reduceByKey(f))
+
+    def groupByKey(self) -> "DStream":
+        return self.transform(lambda rdd: rdd.groupByKey())
+
+    def count(self) -> "DStream":
+        return self.transform(
+            lambda rdd: rdd.ctx.parallelize([rdd.count()], 1)
+        )
+
+    def union(self, other: "DStream") -> "DStream":
+        return UnionDStream(self, other)
+
+    def window(self, window_batches: int, slide_batches: int = 1) -> "DStream":
+        """Union of the last *window_batches* batches, every
+        *slide_batches* batches (sizes in batch counts, like Spark's
+        durations must be multiples of the batch interval)."""
+        return WindowedDStream(self, window_batches, slide_batches)
+
+    def reduceByKeyAndWindow(self, f, window_batches: int,
+                             slide_batches: int = 1) -> "DStream":
+        return self.window(window_batches, slide_batches).reduceByKey(f)
+
+    def countByWindow(self, window_batches: int,
+                      slide_batches: int = 1) -> "DStream":
+        return self.window(window_batches, slide_batches).count()
+
+    def updateStateByKey(
+        self, update: Callable[[list, Any | None], Any | None]
+    ) -> "DStream":
+        """Stateful per-key stream: ``update(new_values, old_state)``
+        returns the new state (or None to drop the key)."""
+        return StateDStream(self, update)
+
+    # -- outputs -----------------------------------------------------------------
+
+    def foreachRDD(self, f: Callable[[RDD], None]) -> None:
+        self.ssc._add_output(self, f)
+
+    def collect_batches(self, sink: list) -> None:
+        """Append each batch's collected records to *sink* (test helper)."""
+        self.foreachRDD(lambda rdd: sink.append(rdd.collect()))
+
+
+class InputDStream(DStream):
+    """Entry point: records pushed by a receiver, bucketed by timestamp."""
+
+    def __init__(self, ssc: "StreamingContext"):
+        super().__init__(ssc, parents=[])
+        self._buckets: dict[int, list] = defaultdict(list)
+
+    def push(self, record: Any, timestamp: float) -> None:
+        """Deliver one record stamped with its event time (seconds)."""
+        index = math.floor(timestamp / self.ssc.batch_interval)
+        if index < self.ssc._next_batch:
+            # Late data: fold into the earliest unprocessed batch rather
+            # than dropping it (simplest defensible policy).
+            index = self.ssc._next_batch
+        self._buckets[index].append(record)
+
+    def push_many(self, records: Iterable[tuple[Any, float]]) -> None:
+        for record, ts in records:
+            self.push(record, ts)
+
+    def compute(self, batch_index: int) -> RDD | None:
+        records = self._buckets.pop(batch_index, None)
+        if not records:
+            return None
+        return self.ssc.sc.parallelize(records)
+
+
+class TransformedDStream(DStream):
+    def __init__(self, parent: DStream, f: Callable[[RDD], RDD]):
+        super().__init__(parent.ssc, [parent])
+        self.f = f
+
+    def compute(self, batch_index: int) -> RDD | None:
+        rdd = self._parent_rdd(batch_index)
+        return None if rdd is None else self.f(rdd)
+
+
+class UnionDStream(DStream):
+    def __init__(self, a: DStream, b: DStream):
+        super().__init__(a.ssc, [a, b])
+
+    def compute(self, batch_index: int) -> RDD | None:
+        rdds = [
+            r for r in (
+                self.ssc._rdd_for(p, batch_index) for p in self.parents
+            ) if r is not None
+        ]
+        if not rdds:
+            return None
+        return self.ssc.sc.union(rdds)
+
+
+class WindowedDStream(DStream):
+    def __init__(self, parent: DStream, window_batches: int, slide_batches: int):
+        if window_batches < 1 or slide_batches < 1:
+            raise ValueError("window/slide must be >= 1 batch")
+        super().__init__(parent.ssc, [parent])
+        self.window_batches = window_batches
+        self.slide_batches = slide_batches
+
+    def compute(self, batch_index: int) -> RDD | None:
+        if (batch_index + 1) % self.slide_batches != 0:
+            return None
+        rdds = []
+        for i in range(batch_index - self.window_batches + 1, batch_index + 1):
+            if i < 0:
+                continue
+            rdd = self.ssc._rdd_for(self.parents[0], i)
+            if rdd is not None:
+                rdds.append(rdd)
+        if not rdds:
+            return None
+        return self.ssc.sc.union(rdds)
+
+
+class StateDStream(DStream):
+    """Running per-key state folded over batches."""
+
+    def __init__(self, parent: DStream,
+                 update: Callable[[list, Any | None], Any | None]):
+        super().__init__(parent.ssc, [parent])
+        self.update = update
+        self._state: dict[Any, Any] = {}
+
+    def compute(self, batch_index: int) -> RDD | None:
+        rdd = self._parent_rdd(batch_index)
+        batch: dict[Any, list] = defaultdict(list)
+        if rdd is not None:
+            for key, value in rdd.collect():
+                batch[key].append(value)
+        # Keys with new values OR existing state are re-evaluated.
+        next_state: dict[Any, Any] = {}
+        for key in set(batch) | set(self._state):
+            new = self.update(batch.get(key, []), self._state.get(key))
+            if new is not None:
+                next_state[key] = new
+        self._state = next_state
+        return self.ssc.sc.parallelize(list(next_state.items()))
+
+
+class StreamingContext:
+    """Drives DStream batches off a deterministic logical clock."""
+
+    def __init__(self, sc: "SparkletContext", batch_interval: float = 1.0):
+        if batch_interval <= 0:
+            raise ValueError("batch_interval must be positive")
+        self.sc = sc
+        self.batch_interval = batch_interval
+        self._streams: list[DStream] = []
+        self._outputs: list[tuple[DStream, Callable[[RDD], None]]] = []
+        self._next_batch = 0
+        self._batch_cache: dict[tuple[int, int], RDD | None] = {}
+        self.batches_run = 0
+
+    # -- graph management -----------------------------------------------------
+
+    def _register(self, stream: DStream) -> None:
+        self._streams.append(stream)
+
+    def _add_output(self, stream: DStream, f: Callable[[RDD], None]) -> None:
+        self._outputs.append((stream, f))
+
+    def input_stream(self) -> InputDStream:
+        return InputDStream(self)
+
+    def queue_stream(self, batches: list[list]) -> InputDStream:
+        """Pre-loaded input: batch *i* of *batches* arrives at batch *i*."""
+        stream = InputDStream(self)
+        for i, records in enumerate(batches):
+            ts = i * self.batch_interval
+            for record in records:
+                stream.push(record, ts)
+        return stream
+
+    # -- execution ----------------------------------------------------------------
+
+    def _rdd_for(self, stream: DStream, batch_index: int) -> RDD | None:
+        key = (id(stream), batch_index)
+        if key not in self._batch_cache:
+            self._batch_cache[key] = stream.compute(batch_index)
+        return self._batch_cache[key]
+
+    def run_batch(self) -> int:
+        """Process exactly one batch; returns its index."""
+        index = self._next_batch
+        # Outputs pull their stream's RDD; stateful/windowed streams also
+        # need their compute() invoked every batch to advance state.
+        for stream in self._streams:
+            if isinstance(stream, StateDStream):
+                self._rdd_for(stream, index)
+        for stream, callback in self._outputs:
+            rdd = self._rdd_for(stream, index)
+            if rdd is not None:
+                callback(rdd)
+        self._next_batch += 1
+        self.batches_run += 1
+        self._gc_cache(index)
+        return index
+
+    def advance(self, num_batches: int = 1) -> None:
+        """Advance the logical clock by whole batches."""
+        for _ in range(num_batches):
+            self.run_batch()
+
+    def advance_to(self, timestamp: float) -> None:
+        """Process every batch whose interval ends at or before *timestamp*."""
+        while (self._next_batch + 1) * self.batch_interval <= timestamp:
+            self.run_batch()
+
+    def _gc_cache(self, done_index: int) -> None:
+        # Keep a window's worth of history; drop older cached batch RDDs.
+        horizon = done_index - self._max_window() + 1
+        for key in [k for k in self._batch_cache if k[1] < horizon]:
+            del self._batch_cache[key]
+
+    def _max_window(self) -> int:
+        widths = [
+            s.window_batches for s in self._streams
+            if isinstance(s, WindowedDStream)
+        ]
+        return max(widths, default=1)

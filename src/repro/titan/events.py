@@ -1,0 +1,163 @@
+"""Event-type registry: what the framework monitors (paper §II-B).
+
+"The data model is designed to capture various system events including,
+machine check exceptions, memory errors, GPU failures, GPU memory
+errors, Lustre file system errors, data virtualization service errors,
+network errors, application aborts, kernel panics, etc."
+
+Each :class:`EventType` carries the metadata the rest of the system
+needs: which log stream it appears in, a severity, the component level
+it is reported at (node / blade / cabinet / system), and a nominal
+per-node-hour base rate used by the synthetic generator.  Rates are
+order-of-magnitude figures chosen from the public Titan reliability
+literature (e.g. Tiwari et al., SC'15 for GPU rates) — absolute values
+are not load-bearing, only their relative magnitudes and the spatial /
+temporal structure the generator layers on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Severity", "LogSource", "EventType", "EventRegistry",
+           "default_registry"]
+
+
+class Severity(Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+    CRITICAL = "critical"
+    FATAL = "fatal"
+
+
+class LogSource(Enum):
+    """Which raw log stream an event type is parsed from (§II-B:
+    console, application and network logs)."""
+
+    CONSOLE = "console"
+    APPLICATION = "application"
+    NETWORK = "network"
+
+
+@dataclass(frozen=True)
+class EventType:
+    """Static description of one monitored event type."""
+
+    name: str
+    category: str              # memory | gpu | filesystem | network | ...
+    severity: Severity
+    source: LogSource
+    description: str
+    base_rate: float           # expected occurrences per node-hour
+    fatal_to_node: bool = False
+
+    def __post_init__(self):
+        if self.base_rate < 0:
+            raise ValueError("base_rate must be non-negative")
+
+
+class EventRegistry:
+    """Mutable catalogue of event types (the ``eventtypes`` table).
+
+    §II-A demands a "flexible mechanism to add new event types";
+    registries are therefore open: :meth:`register` accepts new types at
+    run time and the model layer persists them to the DB.
+    """
+
+    def __init__(self, types: list[EventType] = ()):
+        self._types: dict[str, EventType] = {}
+        for t in types:
+            self.register(t)
+
+    def register(self, event_type: EventType) -> EventType:
+        if event_type.name in self._types:
+            raise ValueError(f"event type exists: {event_type.name!r}")
+        self._types[event_type.name] = event_type
+        return event_type
+
+    def get(self, name: str) -> EventType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KeyError(f"unknown event type: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self):
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    def by_category(self, category: str) -> list[EventType]:
+        return [t for t in self._types.values() if t.category == category]
+
+    def by_source(self, source: LogSource) -> list[EventType]:
+        return [t for t in self._types.values() if t.source == source]
+
+
+def default_registry() -> EventRegistry:
+    """The Titan event catalogue used throughout the reproduction."""
+    S, L = Severity, LogSource
+    return EventRegistry([
+        EventType("MCE", "processor", S.ERROR, L.CONSOLE,
+                  "Machine check exception reported by the Opteron core",
+                  base_rate=2e-3),
+        EventType("DRAM_CE", "memory", S.WARNING, L.CONSOLE,
+                  "Correctable DRAM ECC error (single-bit)",
+                  base_rate=8e-3),
+        EventType("DRAM_UE", "memory", S.CRITICAL, L.CONSOLE,
+                  "Uncorrectable DRAM ECC error (multi-bit)",
+                  base_rate=1e-4, fatal_to_node=True),
+        EventType("GPU_XID", "gpu", S.ERROR, L.CONSOLE,
+                  "NVIDIA XID error reported by the K20X driver",
+                  base_rate=1.5e-3),
+        EventType("GPU_DBE", "gpu", S.CRITICAL, L.CONSOLE,
+                  "GPU GDDR5 double-bit error",
+                  base_rate=2e-4, fatal_to_node=True),
+        EventType("GPU_SBE", "gpu", S.WARNING, L.CONSOLE,
+                  "GPU GDDR5 single-bit error (corrected)",
+                  base_rate=6e-3),
+        EventType("GPU_OFF_BUS", "gpu", S.CRITICAL, L.CONSOLE,
+                  "GPU fell off the PCIe bus",
+                  base_rate=5e-5, fatal_to_node=True),
+        EventType("LUSTRE_ERR", "filesystem", S.ERROR, L.CONSOLE,
+                  "Lustre client error (OST/MDT RPC failures, evictions)",
+                  base_rate=4e-3),
+        EventType("LBUG", "filesystem", S.FATAL, L.CONSOLE,
+                  "Lustre kernel assertion failure (LBUG)",
+                  base_rate=2e-5, fatal_to_node=True),
+        EventType("DVS_ERR", "filesystem", S.ERROR, L.CONSOLE,
+                  "Data Virtualization Service failure",
+                  base_rate=5e-4),
+        EventType("NET_LINK_FAIL", "network", S.CRITICAL, L.NETWORK,
+                  "Gemini HSN link failure",
+                  base_rate=1e-4),
+        EventType("NET_LANE_DEGRADE", "network", S.WARNING, L.NETWORK,
+                  "Gemini lane degraded / recomputed routes",
+                  base_rate=8e-4),
+        EventType("NET_THROTTLE", "network", S.WARNING, L.NETWORK,
+                  "HSN congestion throttle engaged",
+                  base_rate=6e-4),
+        EventType("KERNEL_PANIC", "software", S.FATAL, L.CONSOLE,
+                  "CNL kernel panic",
+                  base_rate=4e-5, fatal_to_node=True),
+        EventType("OOM", "software", S.ERROR, L.CONSOLE,
+                  "Out-of-memory killer invoked",
+                  base_rate=1.2e-3),
+        EventType("SEGFAULT", "application", S.ERROR, L.APPLICATION,
+                  "Application process segmentation fault",
+                  base_rate=2.5e-3),
+        EventType("APP_ABORT", "application", S.ERROR, L.APPLICATION,
+                  "Application abort (aprun exit with non-zero status)",
+                  base_rate=1.5e-3),
+        EventType("HEARTBEAT_FAULT", "software", S.CRITICAL, L.CONSOLE,
+                  "Node heartbeat fault detected by the SMW",
+                  base_rate=1e-4, fatal_to_node=True),
+    ])

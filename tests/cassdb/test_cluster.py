@@ -1,0 +1,250 @@
+"""Unit tests for cluster coordination: replication, consistency, repair."""
+
+import pytest
+
+from repro.cassdb import (
+    Cluster,
+    ClusteringBound,
+    Consistency,
+    SchemaError,
+    TableSchema,
+    UnavailableError,
+)
+
+EVENTS = TableSchema(
+    "event_by_time", partition_key=("hour", "type"), clustering_key=("ts", "seq")
+)
+
+
+def make_cluster(n=4, rf=2, **kw) -> Cluster:
+    cluster = Cluster(n, replication_factor=rf, **kw)
+    cluster.create_table(EVENTS)
+    return cluster
+
+
+def insert_events(cluster, n=20, hour=0, type_="MCE"):
+    for i in range(n):
+        cluster.insert(
+            "event_by_time",
+            {"hour": hour, "type": type_, "ts": float(i), "seq": 0,
+             "source": f"c0-0c0s0n{i % 4}", "amount": 1},
+        )
+
+
+class TestSchemaManagement:
+    def test_duplicate_table_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(SchemaError):
+            cluster.create_table(EVENTS)
+
+    def test_drop_table(self):
+        cluster = make_cluster()
+        insert_events(cluster)
+        cluster.drop_table("event_by_time")
+        with pytest.raises(SchemaError):
+            cluster.schema("event_by_time")
+
+    def test_rf_exceeding_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(2, replication_factor=3)
+
+    def test_int_node_spec(self):
+        cluster = Cluster(3)
+        assert set(cluster.nodes) == {"node00", "node01", "node02"}
+
+
+class TestWriteReadRoundtrip:
+    def test_select_partition_in_order(self):
+        cluster = make_cluster()
+        insert_events(cluster, 20)
+        rows = cluster.select_partition("event_by_time", (0, "MCE"))
+        assert [r["ts"] for r in rows] == [float(i) for i in range(20)]
+        assert rows[0]["hour"] == 0  # key columns rehydrated from the query
+        assert rows[0]["type"] == "MCE"
+        assert rows[0]["amount"] == 1
+
+    def test_select_with_bounds(self):
+        cluster = make_cluster()
+        insert_events(cluster, 20)
+        rows = cluster.select_partition(
+            "event_by_time", (0, "MCE"),
+            lower=ClusteringBound((5.0,)),
+            upper=ClusteringBound((8.0,)),
+        )
+        assert [r["ts"] for r in rows] == [5.0, 6.0, 7.0, 8.0]
+
+    def test_select_mapping_partition_values(self):
+        cluster = make_cluster()
+        insert_events(cluster, 5)
+        rows = cluster.select_partition(
+            "event_by_time", {"hour": 0, "type": "MCE"}, limit=2
+        )
+        assert len(rows) == 2
+
+    def test_select_absent_partition(self):
+        cluster = make_cluster()
+        insert_events(cluster, 5)
+        assert cluster.select_partition("event_by_time", (99, "MCE")) == []
+
+    def test_replication_places_rf_copies(self):
+        cluster = make_cluster(4, rf=3)
+        insert_events(cluster, 1)
+        holders = [
+            nid for nid, node in cluster.nodes.items()
+            if node.partition_keys("event_by_time")
+        ]
+        assert len(holders) == 3
+
+    def test_upsert_semantics(self):
+        cluster = make_cluster()
+        cluster.insert("event_by_time",
+                       {"hour": 0, "type": "MCE", "ts": 1.0, "seq": 0, "v": 1})
+        cluster.insert("event_by_time",
+                       {"hour": 0, "type": "MCE", "ts": 1.0, "seq": 0, "v": 2})
+        rows = cluster.select_partition("event_by_time", (0, "MCE"))
+        assert len(rows) == 1
+        assert rows[0]["v"] == 2
+
+    def test_delete_row(self):
+        cluster = make_cluster()
+        insert_events(cluster, 3)
+        cluster.delete_row(
+            "event_by_time", {"hour": 0, "type": "MCE", "ts": 1.0, "seq": 0}
+        )
+        rows = cluster.select_partition("event_by_time", (0, "MCE"))
+        assert [r["ts"] for r in rows] == [0.0, 2.0]
+
+    def test_insert_many(self):
+        cluster = make_cluster()
+        n = cluster.insert_many(
+            "event_by_time",
+            ({"hour": 0, "type": "T", "ts": float(i), "seq": 0} for i in range(7)),
+        )
+        assert n == 7
+
+
+class TestFailureModes:
+    def test_unavailable_when_all_replicas_down(self):
+        cluster = make_cluster(4, rf=2)
+        insert_events(cluster, 1)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        for replica in cluster.ring.replicas(pk):
+            cluster.kill_node(replica)
+        with pytest.raises(UnavailableError):
+            cluster.select_partition("event_by_time", (0, "MCE"))
+
+    def test_read_one_succeeds_with_one_replica_down(self):
+        cluster = make_cluster(4, rf=2)
+        insert_events(cluster, 10)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        cluster.kill_node(cluster.ring.replicas(pk)[0])
+        rows = cluster.select_partition(
+            "event_by_time", (0, "MCE"), consistency=Consistency.ONE
+        )
+        assert len(rows) == 10
+
+    def test_quorum_read_fails_with_majority_down(self):
+        cluster = make_cluster(4, rf=3)
+        insert_events(cluster, 5)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        for replica in cluster.ring.replicas(pk)[:2]:
+            cluster.kill_node(replica)
+        with pytest.raises(UnavailableError):
+            cluster.select_partition(
+                "event_by_time", (0, "MCE"), consistency=Consistency.QUORUM
+            )
+
+    def test_hinted_handoff_replays_on_revive(self):
+        cluster = make_cluster(4, rf=2)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        down = cluster.ring.replicas(pk)[1]
+        cluster.kill_node(down)
+        insert_events(cluster, 10)  # hints buffered for `down`
+        assert cluster.hinted_writes > 0
+        cluster.revive_node(down)
+        # The revived node must now hold the partition locally.
+        rows = cluster.nodes[down].read_partition("event_by_time", pk)
+        assert len(rows) == 10
+
+    def test_write_consistency_one_with_node_down(self):
+        cluster = make_cluster(4, rf=2)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        cluster.kill_node(cluster.ring.replicas(pk)[0])
+        cluster.insert(
+            "event_by_time",
+            {"hour": 0, "type": "MCE", "ts": 1.0, "seq": 0},
+            Consistency.ONE,
+        )  # must not raise
+
+    def test_read_repair_fixes_stale_replica(self):
+        cluster = make_cluster(4, rf=2)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        replicas = cluster.ring.replicas(pk)
+        cluster.kill_node(replicas[1])
+        insert_events(cluster, 5)
+        cluster.nodes[replicas[1]].mark_up()  # revive WITHOUT hint replay
+        # ALL-consistency read reconciles and repairs the stale replica.
+        rows = cluster.select_partition(
+            "event_by_time", (0, "MCE"), consistency=Consistency.ALL
+        )
+        assert len(rows) == 5
+        assert cluster.read_repairs > 0
+        stale_now = cluster.nodes[replicas[1]].read_partition("event_by_time", pk)
+        assert len(stale_now) == 5
+
+
+class TestConsistencyRequired:
+    @pytest.mark.parametrize(
+        "cl,rf,expected",
+        [
+            (Consistency.ONE, 3, 1),
+            (Consistency.TWO, 3, 2),
+            (Consistency.TWO, 1, 1),
+            (Consistency.QUORUM, 3, 2),
+            (Consistency.QUORUM, 5, 3),
+            (Consistency.QUORUM, 1, 1),
+            (Consistency.ALL, 3, 3),
+        ],
+    )
+    def test_required(self, cl, rf, expected):
+        assert cl.required(rf) == expected
+
+
+class TestScansAndPlacement:
+    def test_scan_table_sees_each_row_once(self):
+        cluster = make_cluster(4, rf=3)
+        insert_events(cluster, 30, hour=0)
+        insert_events(cluster, 30, hour=1)
+        rows = list(cluster.scan_table("event_by_time"))
+        assert len(rows) == 60
+
+    def test_partitions_by_node_covers_all(self):
+        cluster = make_cluster(4, rf=2)
+        for h in range(24):
+            insert_events(cluster, 2, hour=h)
+        by_node = cluster.partitions_by_node("event_by_time")
+        covered = set().union(*by_node.values())
+        assert covered == cluster.partition_keys("event_by_time")
+        assert len(covered) == 24
+
+    def test_read_partition_raw(self):
+        cluster = make_cluster()
+        insert_events(cluster, 4)
+        pk = cluster.schema("event_by_time").partition_key_from_tuple((0, "MCE"))
+        rows = cluster.read_partition_raw("event_by_time", pk)
+        assert len(rows) == 4
+        assert rows[0]["type"] == "MCE"
+
+    def test_scan_survives_single_node_failure_with_rf2(self):
+        cluster = make_cluster(4, rf=2)
+        for h in range(12):
+            insert_events(cluster, 3, hour=h)
+        cluster.kill_node("node01")
+        rows = list(cluster.scan_table("event_by_time"))
+        assert len(rows) == 36
+
+    def test_flush_all_and_total_rows(self):
+        cluster = make_cluster()
+        insert_events(cluster, 10)
+        cluster.flush_all()
+        assert cluster.total_rows("event_by_time") == 10

@@ -1,0 +1,174 @@
+"""Unit tests for the memtable and SSTable layers."""
+
+from repro.cassdb.memtable import Memtable
+from repro.cassdb.row import Cell, ClusteringBound, Row
+from repro.cassdb.sstable import SSTable, merge_sstables, scan_partition
+
+
+def _row(ts, seq=0, ts_write=1, **cols):
+    return Row.from_values((ts, seq), cols or {"v": ts}, write_ts=ts_write)
+
+
+class TestMemtable:
+    def test_upsert_and_sorted_rows(self):
+        mt = Memtable()
+        for ts in (5.0, 1.0, 3.0):
+            mt.upsert("pk", _row(ts))
+        part = mt.get_partition("pk")
+        assert [r.clustering[0] for r in part.sorted_rows()] == [1.0, 3.0, 5.0]
+
+    def test_upsert_same_key_merges(self):
+        mt = Memtable()
+        mt.upsert("pk", Row.from_values((1.0, 0), {"a": 1}, write_ts=1))
+        mt.upsert("pk", Row.from_values((1.0, 0), {"b": 2}, write_ts=2))
+        assert mt.row_count == 1
+        row = mt.get_partition("pk").rows[(1.0, 0)]
+        assert row.as_dict() == {"a": 1, "b": 2}
+
+    def test_row_count_across_partitions(self):
+        mt = Memtable()
+        mt.upsert("p1", _row(1.0))
+        mt.upsert("p2", _row(1.0))
+        mt.upsert("p2", _row(2.0))
+        assert mt.row_count == 3
+        assert len(mt) == 3
+
+    def test_delete_writes_tombstone(self):
+        mt = Memtable()
+        mt.upsert("pk", _row(1.0, ts_write=1))
+        mt.delete("pk", (1.0, 0), tombstone_ts=2)
+        row = mt.get_partition("pk").rows[(1.0, 0)]
+        assert not row.is_live
+
+    def test_delete_before_insert(self):
+        mt = Memtable()
+        mt.delete("pk", (9.0, 0), tombstone_ts=5)
+        assert mt.row_count == 1
+        assert not mt.get_partition("pk").rows[(9.0, 0)].is_live
+
+    def test_missing_partition(self):
+        assert Memtable().get_partition("nope") is None
+
+    def test_sorted_keys_cache_invalidation(self):
+        mt = Memtable()
+        mt.upsert("pk", _row(2.0))
+        part = mt.get_partition("pk")
+        assert part.sorted_keys() == [(2.0, 0)]
+        mt.upsert("pk", _row(1.0))
+        assert part.sorted_keys() == [(1.0, 0), (2.0, 0)]
+
+
+class TestSSTable:
+    def _sstable(self, n=100):
+        mt = Memtable()
+        for i in range(n):
+            mt.upsert(f"pk{i % 5}", _row(float(i)))
+        return SSTable.from_memtable(mt)
+
+    def test_from_memtable_counts(self):
+        sst = self._sstable(100)
+        assert sst.row_count == 100
+        assert len(sst) == 100
+        assert set(sst.partition_keys()) == {f"pk{i}" for i in range(5)}
+
+    def test_rows_sorted_within_partition(self):
+        sst = self._sstable(50)
+        for rows in sst.partitions.values():
+            keys = [r.clustering for r in rows]
+            assert keys == sorted(keys)
+
+    def test_bloom_no_false_negative(self):
+        sst = self._sstable(50)
+        assert all(sst.maybe_contains(pk) for pk in sst.partition_keys())
+
+    def test_get_absent_partition(self):
+        sst = self._sstable(10)
+        assert sst.get_partition("definitely-absent-partition") is None
+
+    def test_generations_increase(self):
+        a, b = self._sstable(5), self._sstable(5)
+        assert b.generation > a.generation
+
+
+class TestScanPartition:
+    def setup_method(self):
+        self.rows = [_row(float(i)) for i in range(10)]
+
+    def test_no_bounds(self):
+        assert scan_partition(self.rows) == self.rows
+
+    def test_lower_inclusive(self):
+        out = scan_partition(self.rows, lower=ClusteringBound((5.0,)))
+        assert [r.clustering[0] for r in out] == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_lower_exclusive(self):
+        out = scan_partition(
+            self.rows, lower=ClusteringBound((5.0,), inclusive=False)
+        )
+        assert out[0].clustering[0] == 6.0
+
+    def test_upper_exclusive(self):
+        out = scan_partition(
+            self.rows, upper=ClusteringBound((3.0,), inclusive=False)
+        )
+        assert [r.clustering[0] for r in out] == [0.0, 1.0, 2.0]
+
+    def test_window(self):
+        out = scan_partition(
+            self.rows,
+            lower=ClusteringBound((2.0,)),
+            upper=ClusteringBound((4.0,)),
+        )
+        assert [r.clustering[0] for r in out] == [2.0, 3.0, 4.0]
+
+    def test_reverse(self):
+        out = scan_partition(self.rows, reverse=True)
+        assert [r.clustering[0] for r in out] == [float(i) for i in range(9, -1, -1)]
+
+    def test_empty_rows(self):
+        assert scan_partition([]) == []
+
+    def test_prefix_upper_bound_with_seq(self):
+        rows = [_row(1.0, seq=s) for s in range(3)] + [_row(2.0)]
+        out = scan_partition(rows, upper=ClusteringBound((1.0,)))
+        assert len(out) == 3  # all seq values under ts prefix 1.0
+
+
+class TestMergeSSTables:
+    def test_duplicates_reconciled_by_timestamp(self):
+        mt1, mt2 = Memtable(), Memtable()
+        mt1.upsert("pk", Row.from_values((1.0, 0), {"v": "old"}, write_ts=1))
+        mt2.upsert("pk", Row.from_values((1.0, 0), {"v": "new"}, write_ts=2))
+        merged = merge_sstables(
+            [SSTable.from_memtable(mt1), SSTable.from_memtable(mt2)]
+        )
+        assert merged.partitions["pk"][0].value("v") == "new"
+
+    def test_union_of_partitions(self):
+        mt1, mt2 = Memtable(), Memtable()
+        mt1.upsert("a", _row(1.0))
+        mt2.upsert("b", _row(1.0))
+        merged = merge_sstables(
+            [SSTable.from_memtable(mt1), SSTable.from_memtable(mt2)]
+        )
+        assert set(merged.partition_keys()) == {"a", "b"}
+
+    def test_tombstones_collected(self):
+        mt1, mt2 = Memtable(), Memtable()
+        mt1.upsert("pk", Row.from_values((1.0, 0), {"v": 1}, write_ts=1))
+        mt2.delete("pk", (1.0, 0), tombstone_ts=2)
+        merged = merge_sstables(
+            [SSTable.from_memtable(mt1), SSTable.from_memtable(mt2)]
+        )
+        assert "pk" not in merged.partitions
+
+    def test_merge_order_independent(self):
+        mt1, mt2 = Memtable(), Memtable()
+        mt1.upsert("pk", Row.from_values((1.0, 0), {"v": "a"}, write_ts=9))
+        mt2.upsert("pk", Row.from_values((1.0, 0), {"v": "b"}, write_ts=3))
+        s1, s2 = SSTable.from_memtable(mt1), SSTable.from_memtable(mt2)
+        assert (
+            merge_sstables([s1, s2]).partitions["pk"][0].value("v")
+            == merge_sstables([s2, s1]).partitions["pk"][0].value("v")
+            == "a"
+        )

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for cassdb invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cassdb import Cluster, TableSchema
+from repro.cassdb.bloom import BloomFilter
+from repro.cassdb.hashring import HashRing
+from repro.cassdb.row import ClusteringBound, Row
+from repro.cassdb.sstable import scan_partition
+from repro.cassdb.storage import TableStore
+
+keys = st.text(min_size=1, max_size=20)
+node_sets = st.lists(
+    st.sampled_from([f"n{i}" for i in range(12)]),
+    min_size=1, max_size=8, unique=True,
+)
+
+
+class TestRingProperties:
+    @given(nodes=node_sets, key=keys)
+    def test_primary_is_member(self, nodes, key):
+        ring = HashRing(nodes, vnodes=8)
+        assert ring.primary(key) in nodes
+
+    @given(nodes=node_sets, key=keys, rf=st.integers(1, 4))
+    def test_replicas_distinct_and_bounded(self, nodes, key, rf):
+        ring = HashRing(nodes, vnodes=8, replication_factor=rf)
+        reps = ring.replicas(key)
+        assert len(reps) == min(rf, len(nodes))
+        assert len(set(reps)) == len(reps)
+
+    @given(nodes=node_sets, key=keys)
+    def test_placement_deterministic(self, nodes, key):
+        r1 = HashRing(nodes, vnodes=8)
+        r2 = HashRing(list(reversed(nodes)), vnodes=8)
+        assert r1.primary(key) == r2.primary(key)
+
+    @given(nodes=node_sets, key=keys)
+    def test_remove_unrelated_node_keeps_placement(self, nodes, key):
+        ring = HashRing(nodes, vnodes=8)
+        owner = ring.primary(key)
+        victim = next((n for n in nodes if n != owner), None)
+        if victim is None:
+            return
+        ring.remove_node(victim)
+        assert ring.primary(key) == owner
+
+
+class TestBloomProperties:
+    @given(st.lists(keys, max_size=200))
+    def test_never_false_negative(self, items):
+        bf = BloomFilter.from_keys(items)
+        assert all(k in bf for k in items)
+
+
+class TestScanProperties:
+    ts_lists = st.lists(
+        st.integers(min_value=-50, max_value=50), min_size=0, max_size=60,
+        unique=True,
+    )
+
+    @given(ts=ts_lists, lo=st.integers(-60, 60), hi=st.integers(-60, 60),
+           inc_lo=st.booleans(), inc_hi=st.booleans())
+    def test_scan_matches_naive_filter(self, ts, lo, hi, inc_lo, inc_hi):
+        rows = [Row.from_values((t,), {"v": t}) for t in sorted(ts)]
+        got = scan_partition(
+            rows,
+            lower=ClusteringBound((lo,), inc_lo),
+            upper=ClusteringBound((hi,), inc_hi),
+        )
+        def ok(t):
+            lo_ok = t >= lo if inc_lo else t > lo
+            hi_ok = t <= hi if inc_hi else t < hi
+            return lo_ok and hi_ok
+        assert [r.clustering[0] for r in got] == [t for t in sorted(ts) if ok(t)]
+
+    @given(ts=ts_lists)
+    def test_reverse_is_reversed_forward(self, ts):
+        rows = [Row.from_values((t,), {}) for t in sorted(ts)]
+        fwd = scan_partition(rows)
+        rev = scan_partition(rows, reverse=True)
+        assert rev == fwd[::-1]
+
+
+# A compact model-based test: the LSM store must behave like a dict
+# keyed by clustering tuple, regardless of flush/compaction timing.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 15), st.integers(0, 99)),
+        st.tuples(st.just("delete"), st.integers(0, 15), st.just(0)),
+        st.tuples(st.just("flush"), st.just(0), st.just(0)),
+        st.tuples(st.just("compact"), st.just(0), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+class TestStorageModel:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops)
+    def test_lsm_equivalent_to_dict(self, ops):
+        store = TableStore(flush_threshold=5, max_sstables=3)
+        model: dict[tuple, int] = {}
+        ts = 0
+        for op, key, val in ops:
+            ts += 1
+            if op == "write":
+                store.write("pk", Row.from_values((key,), {"v": val}, write_ts=ts))
+                model[(key,)] = val
+            elif op == "delete":
+                store.delete("pk", (key,), tombstone_ts=ts)
+                model.pop((key,), None)
+            elif op == "flush":
+                store.flush()
+            else:
+                store.flush()
+                store.compact()
+        got = {r.clustering: r.value("v") for r in store.read_partition("pk")}
+        assert got == model
+
+
+class TestClusterProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 5), st.sampled_from(["A", "B"]),
+                      st.integers(0, 1000)),
+            max_size=40, unique=True,
+        ),
+        rf=st.integers(1, 3),
+    )
+    def test_read_back_everything_written(self, rows, rf):
+        cluster = Cluster(4, replication_factor=rf, flush_threshold=7)
+        cluster.create_table(TableSchema(
+            "t", partition_key=("hour", "type"), clustering_key=("ts",)
+        ))
+        for hour, type_, ts in rows:
+            cluster.insert("t", {"hour": hour, "type": type_, "ts": ts})
+        for hour in range(6):
+            for type_ in ("A", "B"):
+                expected = sorted(
+                    ts for h, t, ts in rows if h == hour and t == type_
+                )
+                got = [
+                    r["ts"]
+                    for r in cluster.select_partition("t", (hour, type_))
+                ]
+                assert got == expected

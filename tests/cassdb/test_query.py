@@ -1,0 +1,310 @@
+"""Unit tests for the CQL-subset parser and session executor."""
+
+import pytest
+
+from repro.cassdb import Cluster, InvalidQueryError, Session
+from repro.cassdb.query import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    parse_statement,
+)
+
+
+@pytest.fixture
+def session():
+    s = Session(Cluster(4, replication_factor=2))
+    s.execute(
+        "CREATE TABLE event_by_time (hour int, type text, ts double, seq int,"
+        " source text, amount int,"
+        " PRIMARY KEY ((hour, type), ts, seq))"
+    )
+    return s
+
+
+class TestParser:
+    def test_create_table_composite_pk(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a int, b text, c double,"
+            " PRIMARY KEY ((a, b), c)) WITH CLUSTERING ORDER BY (c DESC)"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.schema.partition_key == ("a", "b")
+        assert stmt.schema.clustering_key == ("c",)
+        assert stmt.schema.clustering_order == "desc"
+
+    def test_create_table_simple_pk(self):
+        stmt = parse_statement("CREATE TABLE t (a int, PRIMARY KEY (a))")
+        assert stmt.schema.partition_key == ("a",)
+        assert stmt.schema.clustering_key == ()
+
+    def test_create_without_primary_key_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            parse_statement("CREATE TABLE t (a int, b text)")
+
+    def test_insert(self):
+        stmt = parse_statement(
+            "INSERT INTO t (a, b, c) VALUES (1, 'it''s', ?)"
+        )
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ["a", "b", "c"]
+        assert stmt.values[0] == 1
+        assert stmt.values[1] == "it's"
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(InvalidQueryError):
+            parse_statement("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_select_full(self):
+        stmt = parse_statement(
+            "SELECT a, b FROM t WHERE x = 1 AND y >= 2.5 AND y < 9"
+            " ORDER BY y DESC LIMIT 10"
+        )
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.predicates) == 3
+        assert stmt.order_by == ("y", "desc")
+        assert stmt.limit == 10
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.columns is None
+
+    def test_select_allow_filtering_ignored(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = 1 ALLOW FILTERING")
+        assert isinstance(stmt, Select)
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1 AND b = 'x'")
+        assert isinstance(stmt, Delete)
+        assert len(stmt.predicates) == 2
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT * FROM t;")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            parse_statement("FROB THE KNOB")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            parse_statement("SELECT * FROM t WHERE a = 1 bogus extra")
+
+    def test_unsupported_operator(self):
+        with pytest.raises(InvalidQueryError):
+            parse_statement("SELECT * FROM t WHERE a != 1")
+
+    def test_string_escapes(self):
+        stmt = parse_statement("INSERT INTO t (a) VALUES ('O''Brien')")
+        assert stmt.values[0] == "O'Brien"
+
+    def test_negative_numbers(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (-3, -2.5)")
+        assert stmt.values == [-3, -2.5]
+
+    def test_booleans(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (true, false)")
+        assert stmt.values == [True, False]
+
+
+class TestExecution:
+    def _load(self, session, n=10):
+        for i in range(n):
+            session.execute(
+                "INSERT INTO event_by_time (hour, type, ts, seq, source, amount)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (0, "MCE", float(i), 0, f"n{i % 3}", i),
+            )
+
+    def test_insert_select_roundtrip(self, session):
+        self._load(session)
+        rows = session.execute(
+            "SELECT ts, amount FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE'"
+        )
+        assert [r["ts"] for r in rows] == [float(i) for i in range(10)]
+        assert set(rows[0]) == {"ts", "amount"}
+
+    def test_range_and_limit(self, session):
+        self._load(session)
+        rows = session.execute(
+            "SELECT * FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND ts >= 4.0 AND ts < 8.0 LIMIT 3"
+        )
+        assert [r["ts"] for r in rows] == [4.0, 5.0, 6.0]
+
+    def test_order_by_desc(self, session):
+        self._load(session)
+        rows = session.execute(
+            "SELECT ts FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' ORDER BY ts DESC LIMIT 2"
+        )
+        assert [r["ts"] for r in rows] == [9.0, 8.0]
+
+    def test_clustering_equality(self, session):
+        self._load(session)
+        rows = session.execute(
+            "SELECT ts FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND ts = 5.0"
+        )
+        assert [r["ts"] for r in rows] == [5.0]
+
+    def test_residual_predicate_post_filters(self, session):
+        self._load(session)
+        rows = session.execute(
+            "SELECT ts, source FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND source = 'n0'"
+        )
+        assert all(r["source"] == "n0" for r in rows)
+        assert len(rows) == 4  # i in {0,3,6,9}
+
+    def test_residual_with_limit(self, session):
+        self._load(session)
+        rows = session.execute(
+            "SELECT ts FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND source = 'n0' LIMIT 2"
+        )
+        assert len(rows) == 2
+
+    def test_missing_partition_key_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute("SELECT * FROM event_by_time WHERE hour = 0")
+
+    def test_partition_key_range_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT * FROM event_by_time WHERE hour >= 0 AND type = 'MCE'"
+            )
+
+    def test_order_by_non_clustering_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT * FROM event_by_time WHERE hour = 0 AND type = 'MCE'"
+                " ORDER BY amount"
+            )
+
+    def test_delete_requires_full_key(self, session):
+        self._load(session)
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "DELETE FROM event_by_time WHERE hour = 0 AND type = 'MCE'"
+            )
+
+    def test_delete_roundtrip(self, session):
+        self._load(session, 3)
+        session.execute(
+            "DELETE FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND ts = 1.0 AND seq = 0"
+        )
+        rows = session.execute(
+            "SELECT ts FROM event_by_time WHERE hour = 0 AND type = 'MCE'"
+        )
+        assert [r["ts"] for r in rows] == [0.0, 2.0]
+
+    def test_bind_count_mismatch(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "INSERT INTO event_by_time (hour, type, ts, seq)"
+                " VALUES (?, ?, ?, ?)",
+                (1, "MCE"),
+            )
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT * FROM event_by_time WHERE hour = ? AND type = ?",
+                (1, "MCE", "extra"),
+            )
+
+    def test_create_if_not_exists(self, session):
+        session.execute(
+            "CREATE TABLE IF NOT EXISTS event_by_time"
+            " (hour int, type text, PRIMARY KEY (hour))"
+        )  # silently ignored
+        with pytest.raises(Exception):
+            session.execute(
+                "CREATE TABLE event_by_time (hour int, PRIMARY KEY (hour))"
+            )
+
+    def test_unknown_table(self, session):
+        with pytest.raises(Exception):
+            session.execute("SELECT * FROM nope WHERE a = 1")
+
+    def test_count_star(self, session):
+        self._load(session, 10)
+        rows = session.execute(
+            "SELECT COUNT(*) FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE'"
+        )
+        assert rows == [{"count": 10}]
+
+    def test_count_star_with_range(self, session):
+        self._load(session, 10)
+        rows = session.execute(
+            "SELECT COUNT(*) FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND ts >= 5.0"
+        )
+        assert rows == [{"count": 5}]
+
+    def test_count_star_empty_partition(self, session):
+        rows = session.execute(
+            "SELECT COUNT(*) FROM event_by_time"
+            " WHERE hour = 77 AND type = 'MCE'"
+        )
+        assert rows == [{"count": 0}]
+
+    def test_in_on_partition_key(self, session):
+        for hour in (0, 1, 2):
+            for i in range(3):
+                session.execute(
+                    "INSERT INTO event_by_time (hour, type, ts, seq)"
+                    " VALUES (?, 'MCE', ?, ?)",
+                    (hour, float(i), i),
+                )
+        rows = session.execute(
+            "SELECT ts FROM event_by_time"
+            " WHERE hour IN (0, 2) AND type = 'MCE'"
+        )
+        assert len(rows) == 6
+        # IN-list order: hour 0's rows first, each partition time-ordered.
+        assert [r["ts"] for r in rows] == [0.0, 1.0, 2.0, 0.0, 1.0, 2.0]
+
+    def test_in_with_placeholders(self, session):
+        self._load(session, 4)
+        rows = session.execute(
+            "SELECT ts FROM event_by_time"
+            " WHERE hour IN (?, ?) AND type = ?",
+            (0, 9, "MCE"),
+        )
+        assert len(rows) == 4
+
+    def test_in_count(self, session):
+        self._load(session, 6)
+        rows = session.execute(
+            "SELECT COUNT(*) FROM event_by_time"
+            " WHERE hour IN (0) AND type IN ('MCE', 'OOM')"
+        )
+        assert rows == [{"count": 6}]
+
+    def test_in_residual_filter(self, session):
+        self._load(session, 9)
+        rows = session.execute(
+            "SELECT ts, source FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE' AND source IN ('n0', 'n1')"
+        )
+        assert all(r["source"] in ("n0", "n1") for r in rows)
+        assert len(rows) == 6  # i%3 in {0,1}
+
+    def test_in_range_on_partition_key_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT * FROM event_by_time"
+                " WHERE hour >= 0 AND type IN ('MCE')"
+            )
+
+    def test_missing_column_in_projection_is_none(self, session):
+        self._load(session, 1)
+        rows = session.execute(
+            "SELECT ts, nonexistent FROM event_by_time"
+            " WHERE hour = 0 AND type = 'MCE'"
+        )
+        assert rows[0]["nonexistent"] is None

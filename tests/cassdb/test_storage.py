@@ -1,0 +1,132 @@
+"""Unit tests for the per-node LSM table store."""
+
+from repro.cassdb.row import ClusteringBound, Row
+from repro.cassdb.storage import TableStore
+
+
+def _row(ts, seq=0, write_ts=1, **cols):
+    return Row.from_values((ts, seq), cols or {"v": ts}, write_ts=write_ts)
+
+
+class TestWritePath:
+    def test_flush_at_threshold(self):
+        store = TableStore(flush_threshold=10)
+        for i in range(25):
+            store.write("pk", _row(float(i)))
+        assert store.stats.flushes == 2
+        assert store.memtable.row_count == 5
+        assert sum(len(s) for s in store.sstables) == 20
+
+    def test_flush_empty_is_noop(self):
+        store = TableStore()
+        store.flush()
+        assert store.stats.flushes == 0
+        assert not store.sstables
+
+    def test_compaction_at_max_sstables(self):
+        store = TableStore(flush_threshold=1, max_sstables=3)
+        for i in range(8):
+            store.write("pk", _row(float(i)))
+        assert store.stats.compactions >= 1
+        assert len(store.sstables) <= 4
+
+    def test_row_count(self):
+        store = TableStore(flush_threshold=5)
+        for i in range(12):
+            store.write("pk", _row(float(i)))
+        assert store.row_count == 12
+
+
+class TestReadPath:
+    def test_read_spans_memtable_and_sstables(self):
+        store = TableStore(flush_threshold=5)
+        for i in range(12):
+            store.write("pk", _row(float(i)))
+        rows = store.read_partition("pk")
+        assert [r.clustering[0] for r in rows] == [float(i) for i in range(12)]
+
+    def test_read_respects_bounds_and_limit(self):
+        store = TableStore(flush_threshold=4)
+        for i in range(20):
+            store.write("pk", _row(float(i)))
+        rows = store.read_partition(
+            "pk", lower=ClusteringBound((5.0,)), limit=3
+        )
+        assert [r.clustering[0] for r in rows] == [5.0, 6.0, 7.0]
+
+    def test_read_reverse(self):
+        store = TableStore(flush_threshold=4)
+        for i in range(10):
+            store.write("pk", _row(float(i)))
+        rows = store.read_partition("pk", reverse=True, limit=2)
+        assert [r.clustering[0] for r in rows] == [9.0, 8.0]
+
+    def test_newest_value_wins_across_runs(self):
+        store = TableStore(flush_threshold=1)
+        store.write("pk", Row.from_values((1.0, 0), {"v": "old"}, write_ts=1))
+        store.write("pk", Row.from_values((1.0, 0), {"v": "new"}, write_ts=2))
+        rows = store.read_partition("pk")
+        assert len(rows) == 1
+        assert rows[0].value("v") == "new"
+
+    def test_absent_partition(self):
+        store = TableStore()
+        store.write("other", _row(1.0))
+        assert store.read_partition("pk") == []
+
+    def test_bloom_skips_counted(self):
+        store = TableStore(flush_threshold=1)
+        for i in range(5):
+            store.write(f"pk{i}", _row(1.0))
+        store.read_partition("pk0")
+        assert store.stats.bloom_skips > 0
+
+    def test_delete_then_read(self):
+        store = TableStore(flush_threshold=2)
+        store.write("pk", _row(1.0, write_ts=1))
+        store.write("pk", _row(2.0, write_ts=1))
+        store.delete("pk", (1.0, 0), tombstone_ts=5)
+        rows = store.read_partition("pk")
+        assert [r.clustering[0] for r in rows] == [2.0]
+
+    def test_delete_survives_flush_and_compaction(self):
+        store = TableStore(flush_threshold=1, max_sstables=2)
+        store.write("pk", _row(1.0, write_ts=1))
+        store.delete("pk", (1.0, 0), tombstone_ts=5)
+        store.flush()
+        store.compact()
+        assert store.read_partition("pk") == []
+
+    def test_insert_after_delete_resurrects(self):
+        store = TableStore(flush_threshold=1)
+        store.write("pk", Row.from_values((1.0, 0), {"v": 1}, write_ts=1))
+        store.delete("pk", (1.0, 0), tombstone_ts=2)
+        store.write("pk", Row.from_values((1.0, 0), {"v": 2}, write_ts=3))
+        rows = store.read_partition("pk")
+        assert len(rows) == 1
+        assert rows[0].value("v") == 2
+
+    def test_partition_keys_union(self):
+        store = TableStore(flush_threshold=2)
+        store.write("a", _row(1.0))
+        store.write("b", _row(1.0))  # triggers flush
+        store.write("c", _row(1.0))  # in memtable
+        assert store.partition_keys() == {"a", "b", "c"}
+
+
+class TestCompactionEquivalence:
+    def test_reads_identical_before_and_after_compaction(self):
+        store = TableStore(flush_threshold=7, max_sstables=100)
+        for i in range(50):
+            store.write(f"pk{i % 3}", _row(float(i % 13), seq=i, write_ts=i))
+        before = {
+            pk: [(r.clustering, r.as_dict()) for r in store.read_partition(pk)]
+            for pk in store.partition_keys()
+        }
+        store.flush()
+        store.compact()
+        after = {
+            pk: [(r.clustering, r.as_dict()) for r in store.read_partition(pk)]
+            for pk in store.partition_keys()
+        }
+        assert before == after

@@ -1,0 +1,44 @@
+"""Shared fixtures: a loaded framework over a small Titan slice.
+
+Built once per test session — generation + ingest of a 12-hour window
+on a 2-cabinet machine is the expensive part all core tests share.
+"""
+
+import pytest
+
+from repro.core import LogAnalyticsFramework
+from repro.genlog import JobGenerator, LogGenerator
+from repro.titan import TitanTopology
+
+
+@pytest.fixture(scope="session")
+def topo():
+    return TitanTopology(rows=1, cols=2)  # 192 nodes
+
+
+@pytest.fixture(scope="session")
+def generator(topo):
+    return LogGenerator(topo, seed=17, rate_multiplier=40, storms_per_day=4)
+
+
+@pytest.fixture(scope="session")
+def events(generator):
+    return generator.generate(12)
+
+
+@pytest.fixture(scope="session")
+def runs(topo):
+    return JobGenerator(topo, seed=5).generate(12)
+
+
+@pytest.fixture(scope="session")
+def fw(topo, generator, events, runs):
+    framework = LogAnalyticsFramework(topo, db_nodes=4).setup()
+    framework.ingest_events(events)
+    framework.ingest_applications(runs)
+    yield framework
+    framework.stop()
+
+
+HOURS = 12
+HORIZON = HOURS * 3600.0

@@ -1,0 +1,133 @@
+"""Property-based tests for core analytics invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    apriori,
+    binned_series,
+    detect_hotspots,
+    tokenize,
+    transfer_entropy,
+)
+
+series = arrays(np.int64, st.integers(5, 200),
+                elements=st.integers(0, 3))
+
+
+class TestTransferEntropyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(x=series, y=series)
+    def test_nonnegative(self, x, y):
+        n = min(x.size, y.size)
+        assert transfer_entropy(x[:n], y[:n]) >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=series)
+    def test_constant_target_zero(self, x):
+        y = np.zeros_like(x)
+        assert transfer_entropy(x, y) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=series)
+    def test_self_copy_no_extra_info(self, x):
+        """TE(X → X) is 0: X's own history already tells everything a
+        second copy of that history could."""
+        assert transfer_entropy(x, x) < 1e-9
+
+
+class TestBinnedSeriesProperties:
+    events = st.lists(
+        st.tuples(st.floats(0, 99.9, allow_nan=False), st.integers(1, 5)),
+        max_size=50,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(evs=events, width=st.floats(0.5, 50.0))
+    def test_total_preserved(self, evs, width):
+        rows = [{"ts": ts, "amount": a} for ts, a in evs]
+        s = binned_series(rows, 0.0, 100.0, width)
+        assert s.sum() == sum(a for _ts, a in evs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(evs=events)
+    def test_refinement_consistency(self, evs):
+        """Halving the bin width must let pairs of bins sum to the
+        coarse bins."""
+        rows = [{"ts": ts, "amount": a} for ts, a in evs]
+        coarse = binned_series(rows, 0.0, 100.0, 10.0)
+        fine = binned_series(rows, 0.0, 100.0, 5.0)
+        assert np.array_equal(coarse, fine.reshape(-1, 2).sum(axis=1))
+
+
+class TestHotspotProperties:
+    counts = st.dictionaries(
+        st.text(min_size=1, max_size=6), st.integers(0, 50), max_size=30
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts=counts)
+    def test_flagged_subset_of_input(self, counts):
+        spots = detect_hotspots(counts, max(len(counts), 1) + 10)
+        assert {h.component for h in spots} <= set(counts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts=counts, extra=st.integers(500, 5000))
+    def test_adding_a_spike_flags_it(self, counts, extra):
+        counts = dict(counts)
+        counts["__spike__"] = extra
+        spots = detect_hotspots(counts, len(counts) + 10)
+        assert any(h.component == "__spike__" for h in spots)
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts=counts)
+    def test_zscores_sorted(self, counts):
+        spots = detect_hotspots(counts, max(len(counts), 1) + 5)
+        zs = [h.z_score for h in spots]
+        assert zs == sorted(zs, reverse=True)
+
+
+class TestTokenizeProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(text=st.text(max_size=200))
+    def test_never_crashes_and_lowercase(self, text):
+        tokens = tokenize(text)
+        assert all(t == t.lower() for t in tokens)
+        assert all(t for t in tokens)
+
+    @settings(max_examples=80, deadline=None)
+    @given(text=st.text(max_size=100))
+    def test_idempotent_under_rejoin(self, text):
+        tokens = tokenize(text)
+        again = tokenize(" ".join(tokens))
+        assert again == tokens
+
+
+class TestAprioriProperties:
+    transactions = st.lists(
+        st.frozensets(st.sampled_from("ABCDE"), max_size=4), max_size=25
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(tx=transactions, sup=st.floats(0.05, 1.0))
+    def test_supports_correct(self, tx, sup):
+        frequent = apriori(tx, sup)
+        for itemset, support in frequent.items():
+            true_support = sum(
+                1 for basket in tx if itemset <= basket
+            ) / len(tx)
+            assert support == true_support
+            assert support >= sup
+
+    @settings(max_examples=60, deadline=None)
+    @given(tx=transactions, sup=st.floats(0.05, 1.0))
+    def test_downward_closure(self, tx, sup):
+        frequent = apriori(tx, sup)
+        from itertools import combinations
+
+        for itemset in frequent:
+            for r in range(1, len(itemset)):
+                for sub in combinations(itemset, r):
+                    assert frozenset(sub) in frequent

@@ -1,0 +1,259 @@
+"""Tests for the async analytics server (Fig 3's query flow)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import AnalyticsServer
+from repro.core.server import COMPLEX_OPS, SIMPLE_OPS
+
+from .conftest import HORIZON
+
+
+@pytest.fixture(scope="module")
+def server(fw):
+    return AnalyticsServer(fw)
+
+
+def _ctx(fw, **kw):
+    return fw.context(0, HORIZON, **kw).to_json()
+
+
+class TestRouting:
+    def test_ping(self, server):
+        r = server.handle_sync({"op": "ping"})
+        assert r["ok"] and r["result"] == "pong"
+        assert r["elapsed_ms"] >= 0
+
+    def test_unknown_op(self, server):
+        r = server.handle_sync({"op": "frobnicate"})
+        assert not r["ok"]
+        assert "unknown op" in r["error"]
+
+    def test_missing_op(self, server):
+        assert not server.handle_sync({})["ok"]
+
+    def test_ops_partitioned(self):
+        assert not (SIMPLE_OPS & COMPLEX_OPS)
+
+    def test_latencies_recorded(self, server):
+        before = len(server.latencies_ms.get("ping", []))
+        server.handle_sync({"op": "ping"})
+        assert len(server.latencies_ms["ping"]) == before + 1
+
+    def test_error_counter(self, server):
+        errors = server.errors
+        server.handle_sync({"op": "nodeinfo"})  # missing cname
+        assert server.errors == errors + 1
+
+
+class TestSimpleOps:
+    def test_event_types(self, server):
+        r = server.handle_sync({"op": "event_types"})
+        assert r["ok"]
+        assert any(t["name"] == "MCE" for t in r["result"])
+
+    def test_nodeinfo(self, server):
+        r = server.handle_sync({"op": "nodeinfo", "cname": "c0-0c0s0n0"})
+        assert r["ok"]
+        assert r["result"]["cabinet"] == "c0-0"
+
+    def test_nodeinfo_unknown(self, server):
+        r = server.handle_sync({"op": "nodeinfo", "cname": "c9-9c9s9n9"})
+        assert not r["ok"]
+
+    def test_events_with_limit(self, server, fw):
+        r = server.handle_sync({
+            "op": "events", "context": _ctx(fw, event_types=("MCE",)),
+            "limit": 5,
+        })
+        assert r["ok"]
+        assert len(r["result"]) == 5
+
+    def test_events_requires_context(self, server):
+        assert not server.handle_sync({"op": "events"})["ok"]
+
+    def test_runs(self, server, fw, runs):
+        r = server.handle_sync({
+            "op": "runs", "context": _ctx(fw, user=runs[0].user),
+        })
+        assert r["ok"]
+        assert all(row["user"] == runs[0].user for row in r["result"])
+
+    def test_cql_passthrough(self, server):
+        r = server.handle_sync({
+            "op": "cql",
+            "statement": "SELECT name FROM eventtypes WHERE name = 'MCE'",
+        })
+        assert r["ok"]
+        assert r["result"] == [{"name": "MCE"}]
+
+    def test_synopsis(self, server, fw):
+        fw.refresh_synopsis()
+        r = server.handle_sync({"op": "synopsis", "hour": 0})
+        assert r["ok"] and r["result"]
+
+
+class TestComplexOps:
+    def test_heatmap(self, server, fw):
+        r = server.handle_sync({
+            "op": "heatmap", "context": _ctx(fw, event_types=("MCE",)),
+            "granularity": "cabinet",
+        })
+        assert r["ok"]
+        assert set(r["result"]) <= {"c0-0", "c1-0"}
+
+    def test_heatmap_grid_json(self, server, fw):
+        r = server.handle_sync({
+            "op": "heatmap_grid",
+            "context": _ctx(fw, event_types=("MCE",)),
+        })
+        assert r["ok"]
+        json.dumps(r["result"])
+        assert r["result"]["rows"] == 1
+
+    def test_histogram(self, server, fw):
+        r = server.handle_sync({
+            "op": "histogram", "context": _ctx(fw, event_types=("MCE",)),
+            "num_bins": 6,
+        })
+        assert r["ok"]
+        assert len(r["result"]["counts"]) == 6
+        json.dumps(r["result"])
+
+    def test_hotspots(self, server, fw, generator):
+        r = server.handle_sync({
+            "op": "hotspots", "context": _ctx(fw, event_types=("MCE",)),
+        })
+        assert r["ok"]
+        found = {h["component"] for h in r["result"]}
+        assert set(generator.ground_truth.hot_nodes["MCE"]) <= found
+
+    def test_transfer_entropy(self, server, fw):
+        r = server.handle_sync({
+            "op": "transfer_entropy", "context": _ctx(fw),
+            "source_type": "DRAM_UE", "target_type": "KERNEL_PANIC",
+            "bin_seconds": 30.0, "n_shuffles": 50,
+        })
+        assert r["ok"]
+        assert r["result"]["te_forward"] >= r["result"]["te_reverse"]
+        json.dumps(r["result"])
+
+    def test_keywords(self, server, fw, generator):
+        storm = generator.ground_truth.storms[0]
+        ctx = fw.context(storm.start, storm.start + storm.duration,
+                         event_types=("LUSTRE_ERR",))
+        r = server.handle_sync({
+            "op": "keywords", "context": ctx.to_json(), "n": 3,
+        })
+        assert r["ok"]
+        assert r["result"][0][0] == storm.ost.lower()
+
+    def test_placement(self, server):
+        r = server.handle_sync({"op": "placement", "ts": 6 * 3600.0})
+        assert r["ok"]
+        assert all({"apid", "app", "user", "nodes"} <= set(run)
+                   for run in r["result"])
+
+    def test_distribution(self, server, fw):
+        r = server.handle_sync({
+            "op": "distribution", "context": _ctx(fw, event_types=("MCE",)),
+            "granularity": "cabinet",
+        })
+        assert r["ok"]
+        values = [v for _k, v in r["result"]]
+        assert values == sorted(values, reverse=True)
+
+    def test_association_rules(self, server, fw):
+        r = server.handle_sync({
+            "op": "association_rules", "context": _ctx(fw),
+            "window_seconds": 120.0, "min_support": 0.0005,
+        })
+        assert r["ok"]
+        json.dumps(r["result"])
+
+
+class TestExtensionOps:
+    def test_mine_precursors(self, server, fw):
+        r = server.handle_sync({
+            "op": "mine_precursors", "context": _ctx(fw),
+            "lead_window": 120.0, "min_support": 2,
+        })
+        assert r["ok"]
+        pairs = {(rule["precursor"], rule["target"]) for rule in r["result"]}
+        assert ("DRAM_UE", "KERNEL_PANIC") in pairs
+        json.dumps(r["result"])
+
+    def test_application_profiles(self, server, fw, runs):
+        r = server.handle_sync({
+            "op": "application_profiles", "context": _ctx(fw),
+        })
+        assert r["ok"]
+        assert set(r["result"]) == {run.app for run in runs}
+        json.dumps(r["result"])
+
+    def test_materialize_composites_requires_definitions(self, server, fw):
+        r = server.handle_sync({
+            "op": "materialize_composites", "context": _ctx(fw),
+        })
+        assert not r["ok"]
+
+    def test_materialize_composites(self, fw, generator):
+        # Private framework: this op writes events.
+        from repro.core import AnalyticsServer, LogAnalyticsFramework
+
+        fw2 = LogAnalyticsFramework(fw.topology, db_nodes=2).setup()
+        ctx = fw2.context(0, HORIZON)
+        import copy
+
+        fw2.ingest_events(generator.generate(12))
+        server2 = AnalyticsServer(fw2)
+        r = server2.handle_sync({
+            "op": "materialize_composites", "context": ctx.to_json(),
+            "definitions": [{
+                "name": "NODE_DEATH_SEQUENCE",
+                "sequence": ["DRAM_UE", "KERNEL_PANIC", "HEARTBEAT_FAULT"],
+                "window": 120.0,
+            }],
+        })
+        assert r["ok"]
+        assert len(r["result"]) == len(generator.ground_truth.cascades)
+        json.dumps(r["result"])
+        fw2.stop()
+
+
+class TestConcurrency:
+    def test_handle_many_concurrent(self, server, fw):
+        requests = [
+            {"op": "ping"},
+            {"op": "heatmap", "context": _ctx(fw, event_types=("MCE",))},
+            {"op": "event_types"},
+            {"op": "histogram", "context": _ctx(fw, event_types=("OOM",)),
+             "num_bins": 4},
+        ]
+        responses = asyncio.run(server.handle_many(requests))
+        assert [r["ok"] for r in responses] == [True] * 4
+
+    def test_event_loop_not_blocked_by_complex_op(self, server, fw):
+        """While a complex op runs in a worker thread, simple ops must
+        complete — the Tornado non-blocking property."""
+
+        async def scenario():
+            slow = asyncio.create_task(server.handle({
+                "op": "transfer_entropy", "context": _ctx(fw),
+                "source_type": "DRAM_UE", "target_type": "KERNEL_PANIC",
+                "n_shuffles": 200,
+            }))
+            fast = await server.handle({"op": "ping"})
+            assert fast["ok"]
+            assert not slow.done() or slow.result()["ok"]
+            await slow
+
+        asyncio.run(scenario())
+
+    def test_requests_served_counter(self, server):
+        before = server.requests_served
+        server.handle_sync({"op": "ping"})
+        server.handle_sync({"op": "ping"})
+        assert server.requests_served == before + 2

@@ -1,0 +1,274 @@
+"""Tests for the synthetic event generator and job workload."""
+
+from collections import Counter
+
+import pytest
+
+from repro.genlog import JobGenerator, LogGenerator, render_line
+from repro.titan import TitanTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return TitanTopology(rows=1, cols=2)  # 192 nodes
+
+
+@pytest.fixture(scope="module")
+def gen_and_events(topo):
+    gen = LogGenerator(topo, seed=11, rate_multiplier=30)
+    return gen, gen.generate(12)
+
+
+class TestGenerator:
+    def test_deterministic(self, topo, gen_and_events):
+        _, events = gen_and_events
+        again = LogGenerator(topo, seed=11, rate_multiplier=30).generate(12)
+        assert [(e.ts, e.type, e.component) for e in events] == [
+            (e.ts, e.type, e.component) for e in again
+        ]
+
+    def test_different_seed_differs(self, topo, gen_and_events):
+        _, events = gen_and_events
+        other = LogGenerator(topo, seed=12, rate_multiplier=30).generate(12)
+        assert [(e.ts, e.type) for e in events] != [
+            (e.ts, e.type) for e in other
+        ]
+
+    def test_sorted_by_time(self, gen_and_events):
+        _, events = gen_and_events
+        times = [e.ts for e in events]
+        assert times == sorted(times)
+
+    def test_all_components_valid(self, topo, gen_and_events):
+        _, events = gen_and_events
+        cnames = set(loc.cname for loc in topo.nodes())
+        geminis = {loc.gemini_id for loc in topo.nodes()}
+        for e in events:
+            assert e.component in cnames or e.component in geminis
+
+    def test_network_events_on_geminis(self, topo, gen_and_events):
+        _, events = gen_and_events
+        geminis = {loc.gemini_id for loc in topo.nodes()}
+        for e in events:
+            if e.type.startswith("NET_"):
+                assert e.component in geminis
+
+    def test_hour_property(self, gen_and_events):
+        _, events = gen_and_events
+        e = events[-1]
+        assert e.hour == int(e.ts // 3600)
+        assert all(0 <= ev.hour < 12 for ev in events)
+
+    def test_rate_multiplier_scales_volume(self, topo):
+        low = LogGenerator(topo, seed=5, rate_multiplier=5,
+                           storms_per_day=0).generate(6)
+        high = LogGenerator(topo, seed=5, rate_multiplier=50,
+                            storms_per_day=0).generate(6)
+        assert len(high) > 5 * len(low)
+
+    def test_hot_nodes_recorded_and_overloaded(self, gen_and_events):
+        gen, events = gen_and_events
+        hot = set(gen.ground_truth.hot_nodes["MCE"])
+        assert hot
+        counts = Counter(e.component for e in events if e.type == "MCE")
+        mean_hot = sum(counts.get(n, 0) for n in hot) / len(hot)
+        cold = [c for n, c in counts.items() if n not in hot]
+        mean_cold = sum(cold) / max(1, len(cold))
+        assert mean_hot > 3 * mean_cold
+
+    def test_storms_recorded_and_single_ost(self, gen_and_events):
+        gen, events = gen_and_events
+        assert gen.ground_truth.storms  # 12h at 1/day may be 0... see fixture
+        storm = gen.ground_truth.storms[0]
+        in_storm = [
+            e for e in events
+            if e.type == "LUSTRE_ERR"
+            and storm.start <= e.ts <= storm.start + storm.duration
+            and e.attrs.get("ost") == storm.ost
+        ]
+        assert len(in_storm) >= storm.num_events * 0.9
+        # Storm afflicts a large fraction of nodes (system-wide event).
+        afflicted = {e.component for e in in_storm}
+        assert len(afflicted) > 0.5 * 192
+
+    def test_cascades_follow_uncorrectable_errors(self, gen_and_events):
+        gen, events = gen_and_events
+        for node, t0 in gen.ground_truth.cascades:
+            panics = [
+                e for e in events
+                if e.type == "KERNEL_PANIC" and e.component == node
+                and t0 < e.ts < t0 + 25
+            ]
+            assert panics, (node, t0)
+            hb = [
+                e for e in events
+                if e.type == "HEARTBEAT_FAULT" and e.component == node
+                and t0 < e.ts < t0 + 90
+            ]
+            assert hb
+
+    def test_invalid_params(self, topo):
+        with pytest.raises(ValueError):
+            LogGenerator(topo, rate_multiplier=0)
+        with pytest.raises(ValueError):
+            LogGenerator(topo, hot_node_fraction=1.5)
+        with pytest.raises(ValueError):
+            LogGenerator(topo).generate(0)
+
+    def test_raw_lines_parseable_shape(self, gen_and_events):
+        gen, events = gen_and_events
+        for line in gen.raw_lines(events[:200]):
+            stamp, component, rest = line.split(" ", 2)
+            assert stamp.startswith("2017-03-01T")
+            assert rest.split(":", 1)[0] in ("console", "network",
+                                             "application")
+
+    def test_write_log_files(self, topo, tmp_path):
+        gen = LogGenerator(topo, seed=2, rate_multiplier=10)
+        events = gen.generate(3)
+        paths = gen.write_log_files(tmp_path, events)
+        assert set(paths) == {"console", "network", "application"}
+        total = sum(
+            len(open(p, encoding="utf-8").read().splitlines())
+            for p in paths.values()
+        )
+        assert total == len(events)
+
+
+class TestDiurnalModulation:
+    def test_day_busier_than_night(self, topo):
+        gen = LogGenerator(topo, seed=8, rate_multiplier=60,
+                           storms_per_day=0, diurnal_amplitude=0.9)
+        events = gen.generate(24)
+        app_events = [e for e in events if e.type in ("SEGFAULT", "OOM",
+                                                      "APP_ABORT")]
+        day = sum(1 for e in app_events if 8 * 3600 <= e.ts < 16 * 3600)
+        night = sum(1 for e in app_events
+                    if e.ts < 4 * 3600 or e.ts >= 22 * 3600)
+        # Day window is 8h vs night 6h; normalize per hour.
+        assert day / 8 > 1.5 * max(1, night) / 6
+
+    def test_hardware_types_unmodulated(self, topo):
+        a = LogGenerator(topo, seed=8, rate_multiplier=60, storms_per_day=0,
+                         diurnal_amplitude=0.0)
+        b = LogGenerator(topo, seed=8, rate_multiplier=60, storms_per_day=0,
+                         diurnal_amplitude=0.9)
+        mce_a = sum(1 for e in a.generate(12) if e.type == "MCE")
+        mce_b = sum(1 for e in b.generate(12) if e.type == "MCE")
+        # MCE is hardware (not diurnal); counts should be similar.
+        assert abs(mce_a - mce_b) < 0.5 * max(mce_a, mce_b)
+
+    def test_amplitude_validation(self, topo):
+        with pytest.raises(ValueError):
+            LogGenerator(topo, diurnal_amplitude=1.5)
+
+
+class TestCabinetBursts:
+    def test_burst_links_share_cabinet(self, topo):
+        gen = LogGenerator(topo, seed=13, rate_multiplier=1,
+                           storms_per_day=0,
+                           cabinet_burst_rate_per_day=48.0,
+                           cabinet_burst_links=10)
+        events = [e for e in gen.generate(12)
+                  if e.type == "NET_LANE_DEGRADE"]
+        assert events
+        # Cluster events into minute-bursts; each burst's links must sit
+        # in one cabinet.
+        bursts: dict[int, list] = {}
+        for e in events:
+            bursts.setdefault(int(e.ts // 61), []).append(e)
+        big = [b for b in bursts.values() if len(b) >= 5]
+        assert big, "no cabinet bursts found"
+        import re
+
+        for burst in big:
+            cabs = {re.match(r"^(c\d+-\d+)", e.component).group(1)
+                    for e in burst}
+            assert len(cabs) == 1
+
+    def test_off_by_default(self, topo):
+        gen = LogGenerator(topo, seed=13, rate_multiplier=1,
+                           storms_per_day=0)
+        net = [e for e in gen.generate(6) if e.type == "NET_LANE_DEGRADE"]
+        # Only sparse baseline events; no 10-link minute bursts.
+        bursts: dict[int, int] = {}
+        for e in net:
+            bursts[int(e.ts // 60)] = bursts.get(int(e.ts // 60), 0) + 1
+        assert all(v < 5 for v in bursts.values())
+
+
+class TestRenderLine:
+    def test_unknown_type_falls_back(self):
+        from repro.genlog.generator import GeneratedEvent
+        from repro.titan import LogSource
+
+        e = GeneratedEvent(ts=1.0, type="WEIRD", component="c0-0c0s0n0",
+                           source=LogSource.CONSOLE, amount=3)
+        line = render_line(e)
+        assert "WEIRD" in line and "amount=3" in line
+
+    def test_lustre_line_contains_ost(self):
+        from repro.genlog.generator import GeneratedEvent
+        from repro.titan import LogSource
+
+        e = GeneratedEvent(ts=0.0, type="LUSTRE_ERR", component="c0-0c0s0n0",
+                           source=LogSource.CONSOLE,
+                           attrs={"ost": "atlas-OST00ff", "rc": -110,
+                                  "pid": 123})
+        assert "atlas-OST00ff" in render_line(e)
+
+
+class TestJobGenerator:
+    @pytest.fixture(scope="class")
+    def runs(self, topo):
+        return JobGenerator(topo, seed=5).generate(24)
+
+    def test_deterministic(self, topo, runs):
+        again = JobGenerator(topo, seed=5).generate(24)
+        assert [(r.apid, r.start, r.nodes) for r in runs] == [
+            (r.apid, r.start, r.nodes) for r in again
+        ]
+
+    def test_runs_within_horizon(self, runs):
+        assert all(0 <= r.start < 24 * 3600 for r in runs)
+        assert all(r.end <= 24 * 3600 for r in runs)
+        assert all(r.end >= r.start for r in runs)
+
+    def test_apids_unique(self, runs):
+        apids = [r.apid for r in runs]
+        assert len(set(apids)) == len(apids)
+
+    def test_no_overlapping_allocations(self, runs):
+        for ts in (3600.0, 12 * 3600.0, 23 * 3600.0):
+            seen: set[str] = set()
+            for run in JobGenerator.running_at(runs, ts):
+                overlap = seen & set(run.nodes)
+                assert not overlap, (ts, overlap)
+                seen.update(run.nodes)
+
+    def test_exit_statuses(self, runs):
+        statuses = Counter(r.exit_status for r in runs)
+        assert statuses["OK"] > statuses["ABORT"] > 0
+        assert set(statuses) <= {"OK", "ABORT", "NODE_FAIL"}
+
+    def test_users_prefer_few_apps(self, runs):
+        by_user: dict[str, set] = {}
+        for r in runs:
+            by_user.setdefault(r.user, set()).add(r.app)
+        assert all(len(apps) <= 3 for apps in by_user.values())
+
+    def test_nodes_are_valid_cnames(self, topo, runs):
+        valid = {loc.cname for loc in topo.nodes()}
+        for r in runs[:50]:
+            assert set(r.nodes) <= valid
+
+    def test_helpers(self, runs):
+        r = runs[0]
+        assert r.num_nodes == len(r.nodes)
+        assert r.duration == r.end - r.start
+        assert r.running_at(r.start)
+        assert not r.running_at(r.end)
+
+    def test_invalid_hours(self, topo):
+        with pytest.raises(ValueError):
+            JobGenerator(topo).generate(0)

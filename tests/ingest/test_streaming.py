@@ -1,0 +1,137 @@
+"""Tests for the streaming ingest pipeline (bus → DStream → sink)."""
+
+import pytest
+
+from repro.bus import MessageBus
+from repro.genlog import LogGenerator
+from repro.ingest import (
+    ListSink,
+    LogProducer,
+    ParsedEvent,
+    StreamingIngestor,
+    serial_ingest,
+)
+from repro.sparklet import SparkletContext
+from repro.titan import LogSource, TitanTopology
+
+
+def _ev(ts, type_="MCE", comp="c0-0c0s0n0", amount=1):
+    return ParsedEvent(ts=ts, type=type_, component=comp,
+                       source=LogSource.CONSOLE, amount=amount)
+
+
+@pytest.fixture
+def pipeline():
+    bus = MessageBus()
+    producer = LogProducer(bus, "events")
+    sink = ListSink()
+    sc = SparkletContext(2)
+    ingestor = StreamingIngestor(bus, "events", sink, sc)
+    return bus, producer, sink, ingestor
+
+
+class TestLogProducer:
+    def test_publish_lines_parses_and_publishes(self, pipeline):
+        bus, producer, _, _ = pipeline
+        line = ("2017-03-01T00:00:05.000 c0-0c0s0n0 console: "
+                "NVRM: GPU has fallen off the bus. GPU is not accessible")
+        n = producer.publish_lines([line, "garbage"])
+        assert n == 1
+        assert producer.published == 1
+        assert bus.topic("events").total_records() == 1
+
+    def test_publish_events(self, pipeline):
+        _, producer, _, _ = pipeline
+        assert producer.publish_events([_ev(1.0), _ev(2.0)]) == 2
+
+    def test_keyed_by_component(self, pipeline):
+        bus, producer, _, _ = pipeline
+        producer.publish_events([_ev(float(i), comp="same") for i in range(5)])
+        parts = {
+            r.partition
+            for p in bus.topic("events").partitions for r in p
+        }
+        assert len(parts) == 1
+
+
+class TestStreamingIngestor:
+    def test_coalesces_same_second(self, pipeline):
+        _, producer, sink, ingestor = pipeline
+        producer.publish_events([
+            _ev(10.1), _ev(10.6), _ev(10.9),   # same second, same key
+            _ev(11.2),                          # next second
+            _ev(10.3, comp="c0-0c0s0n1"),       # other node
+        ])
+        ingestor.process_available()
+        ingestor.flush()
+        assert ingestor.stats.polled == 5
+        assert ingestor.stats.written == 3
+        merged = [e for e in sink.events if e.component == "c0-0c0s0n0"
+                  and int(e.ts) == 10]
+        assert len(merged) == 1
+        assert merged[0].amount == 3
+        assert merged[0].ts == 10.1
+
+    def test_incremental_processing(self, pipeline):
+        _, producer, sink, ingestor = pipeline
+        producer.publish_events([_ev(1.5)])
+        ingestor.process_available()
+        # Batch 1 is still open (only events < latest batch are final).
+        producer.publish_events([_ev(5.5)])
+        ingestor.process_available()
+        ingestor.flush()
+        assert ingestor.stats.written == 2
+        assert ingestor.lag == 0
+
+    def test_empty_poll(self, pipeline):
+        _, _, _, ingestor = pipeline
+        assert ingestor.process_available() == 0
+        assert ingestor.stats.batches == 0
+
+    def test_matches_serial_etl(self, tmp_path):
+        topo = TitanTopology(rows=1, cols=1)
+        gen = LogGenerator(topo, seed=31, rate_multiplier=60)
+        events = gen.generate(3)
+        paths = gen.write_log_files(tmp_path, events)
+
+        serial_sink = ListSink()
+        serial_stats = serial_ingest(
+            sorted(paths.values()), serial_sink, coalesce_seconds=1.0
+        )
+
+        bus = MessageBus()
+        producer = LogProducer(bus, "events")
+        stream_sink = ListSink()
+        ingestor = StreamingIngestor(bus, "events", stream_sink,
+                                     SparkletContext(2))
+        for path in sorted(paths.values()):
+            with open(path, encoding="utf-8") as fh:
+                producer.publish_lines(line.rstrip("\n") for line in fh)
+        ingestor.process_available()
+        ingestor.flush()
+
+        assert ingestor.stats.written == serial_stats.written
+        key = lambda e: (round(e.ts, 3), e.type, e.component, e.amount)
+        assert sorted(map(key, stream_sink.events)) == sorted(
+            map(key, serial_sink.events)
+        )
+
+    def test_storm_compresses_heavily(self):
+        """A storm generates many same-node same-second Lustre events;
+        coalescing must shrink them substantially."""
+        bus = MessageBus()
+        producer = LogProducer(bus, "events")
+        sink = ListSink()
+        ingestor = StreamingIngestor(bus, "events", sink, SparkletContext(2))
+        # 50 nodes x 20 events within the same 2 seconds.
+        events = [
+            _ev(100.0 + (i % 2) + j / 100.0, type_="LUSTRE_ERR",
+                comp=f"c0-0c0s{j % 8}n{j % 4}")
+            for j in range(50) for i in range(20)
+        ]
+        producer.publish_events(events)
+        ingestor.process_available()
+        ingestor.flush()
+        assert ingestor.stats.polled == 1000
+        assert ingestor.stats.written < 150
+        assert sum(e.amount for e in sink.events) == 1000

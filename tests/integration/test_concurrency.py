@@ -1,0 +1,101 @@
+"""Integration: concurrent access to the shared backend.
+
+The paper's server "intends to serve numerous users" — concurrent
+queries and concurrent writes must not corrupt the in-process store
+(the cluster serializes coordinator ops under one lock; these tests pin
+that contract)."""
+
+import threading
+
+import pytest
+
+from repro.cassdb import Cluster, TableSchema
+from repro.core import AnalyticsServer, LogAnalyticsFramework
+from repro.genlog import LogGenerator
+from repro.titan import TitanTopology
+
+
+class TestConcurrentClusterAccess:
+    def test_parallel_writers_lose_nothing(self):
+        cluster = Cluster(4, replication_factor=2)
+        cluster.create_table(TableSchema(
+            "t", partition_key=("k",), clustering_key=("c",)))
+        per_thread = 200
+        n_threads = 6
+
+        def writer(tid):
+            for i in range(per_thread):
+                cluster.insert("t", {"k": f"p{i % 8}",
+                                     "c": tid * per_thread + i,
+                                     "v": tid})
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cluster.total_rows("t") == per_thread * n_threads
+
+    def test_readers_during_writes_see_consistent_prefixes(self):
+        cluster = Cluster(4, replication_factor=2)
+        cluster.create_table(TableSchema(
+            "t", partition_key=("k",), clustering_key=("c",)))
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set() and i < 2000:
+                cluster.insert("t", {"k": "hot", "c": i, "v": i})
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    rows = cluster.select_partition("t", ("hot",))
+                    got = [r["c"] for r in rows]
+                    # Time-ordered, gap-free prefix of the write stream.
+                    assert got == list(range(len(got)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        w = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        w.start()
+        for r in readers:
+            r.start()
+        w.join()
+        stop.set()
+        for r in readers:
+            r.join()
+        assert not errors
+
+
+class TestConcurrentServerLoad:
+    def test_many_clients_mixed_ops(self):
+        import asyncio
+
+        topo = TitanTopology(rows=1, cols=1)
+        fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
+        fw.ingest_events(
+            LogGenerator(topo, seed=2, rate_multiplier=30,
+                         storms_per_day=0).generate(4))
+        server = AnalyticsServer(fw)
+        ctx = fw.context(0, 4 * 3600, event_types=("MCE",)).to_json()
+        requests = []
+        for i in range(40):
+            if i % 4 == 0:
+                requests.append({"op": "heatmap", "context": ctx})
+            elif i % 4 == 1:
+                requests.append({"op": "events", "context": ctx,
+                                 "limit": 3})
+            elif i % 4 == 2:
+                requests.append({"op": "ping"})
+            else:
+                requests.append({"op": "event_types"})
+
+        responses = asyncio.run(server.handle_many(requests))
+        assert all(r["ok"] for r in responses)
+        assert server.requests_served == 40
+        fw.stop()

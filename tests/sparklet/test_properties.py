@@ -1,0 +1,131 @@
+"""Property-based tests: RDD semantics vs plain-Python references."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparklet import SparkletContext
+
+
+@pytest.fixture(scope="module")
+def sc():
+    ctx = SparkletContext(3)
+    yield ctx
+    ctx.stop()
+
+
+ints = st.lists(st.integers(-100, 100), max_size=60)
+pairs = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-50, 50)), max_size=60
+)
+parts = st.integers(1, 7)
+
+
+class TestAgainstReference:
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts)
+    def test_map_filter(self, sc, data, n):
+        got = (
+            sc.parallelize(data, n)
+            .map(lambda x: x * 3 + 1)
+            .filter(lambda x: x % 2 == 0)
+            .collect()
+        )
+        assert got == [x * 3 + 1 for x in data if (x * 3 + 1) % 2 == 0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts)
+    def test_count_sum(self, sc, data, n):
+        rdd = sc.parallelize(data, n)
+        assert rdd.count() == len(data)
+        assert rdd.sum() == sum(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=pairs, n=parts)
+    def test_reduce_by_key(self, sc, data, n):
+        got = dict(
+            sc.parallelize(data, n).reduceByKey(lambda a, b: a + b).collect()
+        )
+        ref: dict[int, int] = {}
+        for k, v in data:
+            ref[k] = ref.get(k, 0) + v
+        assert got == ref
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=pairs, n=parts)
+    def test_group_by_key_multiset(self, sc, data, n):
+        got = dict(sc.parallelize(data, n).groupByKey().collect())
+        ref: dict[int, list[int]] = {}
+        for k, v in data:
+            ref.setdefault(k, []).append(v)
+        assert {k: sorted(v) for k, v in got.items()} == {
+            k: sorted(v) for k, v in ref.items()
+        }
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts)
+    def test_distinct(self, sc, data, n):
+        got = sorted(sc.parallelize(data, n).distinct().collect())
+        assert got == sorted(set(data))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts)
+    def test_sort_by(self, sc, data, n):
+        got = sc.parallelize(data, n).sortBy(lambda x: x).collect()
+        assert got == sorted(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts)
+    def test_count_by_value(self, sc, data, n):
+        got = sc.parallelize(data, n).countByValue()
+        assert got == dict(Counter(data))
+
+    @settings(max_examples=30, deadline=None)
+    @given(left=pairs, right=pairs)
+    def test_join_reference(self, sc, left, right):
+        got = sorted(
+            sc.parallelize(left, 3).join(sc.parallelize(right, 2)).collect()
+        )
+        ref = sorted(
+            (k, (lv, rv))
+            for k, lv in left
+            for k2, rv in right
+            if k == k2
+        )
+        assert got == ref
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts, m=parts)
+    def test_repartition_preserves_multiset(self, sc, data, n, m):
+        got = sc.parallelize(data, n).repartition(m).collect()
+        assert Counter(got) == Counter(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=ints, n=parts)
+    def test_take_is_prefix(self, sc, data, n):
+        rdd = sc.parallelize(data, n)
+        for k in (0, 1, 3, len(data)):
+            assert rdd.take(k) == data[:k]
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=ints, n=parts)
+    def test_zip_with_index_ranks(self, sc, data, n):
+        got = sc.parallelize(data, n).zipWithIndex().collect()
+        assert got == list(zip(data, range(len(data))))
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.lists(st.integers(0, 50), min_size=1, max_size=40),
+           n=parts)
+    def test_aggregate_mean_equivalence(self, sc, data, n):
+        got = sc.parallelize(data, n).mean()
+        assert got == pytest.approx(sum(data) / len(data))
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=pairs, n=parts)
+    def test_cache_transparent(self, sc, data, n):
+        rdd = sc.parallelize(data, n).mapValues(lambda v: v + 1).cache()
+        first = rdd.collect()
+        second = rdd.collect()
+        assert first == second == [(k, v + 1) for k, v in data]

@@ -1,0 +1,315 @@
+"""Unit tests for RDD transformations and actions."""
+
+import pytest
+
+from repro.sparklet import SparkletContext
+
+
+@pytest.fixture(scope="module")
+def sc():
+    ctx = SparkletContext(4)
+    yield ctx
+    ctx.stop()
+
+
+class TestBasicTransformations:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_filter(self, sc):
+        assert sc.range(10).filter(lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_flatmap(self, sc):
+        got = sc.parallelize(["a b", "c"]).flatMap(str.split).collect()
+        assert got == ["a", "b", "c"]
+
+    def test_map_preserves_order(self, sc):
+        assert sc.range(100, 7).map(lambda x: x).collect() == list(range(100))
+
+    def test_pipelined_narrow_chain(self, sc):
+        got = (
+            sc.range(20, 3)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(str)
+            .collect()
+        )
+        assert got == [str(x) for x in range(1, 21) if x % 2 == 0]
+
+    def test_glom_partition_count(self, sc):
+        parts = sc.range(10, 4).glom().collect()
+        assert len(parts) == 4
+        assert [x for p in parts for x in p] == list(range(10))
+
+    def test_union(self, sc):
+        got = sc.parallelize([1, 2]).union(sc.parallelize([3])).collect()
+        assert got == [1, 2, 3]
+
+    def test_distinct(self, sc):
+        got = sorted(sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect())
+        assert got == [1, 2, 3]
+
+    def test_sample_deterministic(self, sc):
+        rdd = sc.range(1000, 4)
+        a = rdd.sample(0.1, seed=5).collect()
+        b = rdd.sample(0.1, seed=5).collect()
+        assert a == b
+        assert 40 < len(a) < 200
+
+    def test_sample_bounds(self, sc):
+        with pytest.raises(ValueError):
+            sc.range(5).sample(1.5)
+        assert sc.range(100).sample(0.0).collect() == []
+        assert sc.range(100, 3).sample(1.0).collect() == list(range(100))
+
+    def test_keyby_keys_values(self, sc):
+        rdd = sc.parallelize(["aa", "b"]).keyBy(len)
+        assert rdd.collect() == [(2, "aa"), (1, "b")]
+        assert rdd.keys().collect() == [2, 1]
+        assert rdd.values().collect() == ["aa", "b"]
+
+    def test_mapvalues_flatmapvalues(self, sc):
+        rdd = sc.parallelize([("a", [1, 2]), ("b", [3])])
+        assert rdd.mapValues(len).collect() == [("a", 2), ("b", 1)]
+        assert rdd.flatMapValues(lambda v: v).collect() == [
+            ("a", 1), ("a", 2), ("b", 3)
+        ]
+
+    def test_zip_with_index(self, sc):
+        got = sc.parallelize(["x", "y", "z"], 2).zipWithIndex().collect()
+        assert got == [("x", 0), ("y", 1), ("z", 2)]
+
+    def test_coalesce(self, sc):
+        rdd = sc.range(20, 8).coalesce(3)
+        assert rdd.getNumPartitions() == 3
+        assert rdd.collect() == list(range(20))
+
+    def test_repartition(self, sc):
+        rdd = sc.range(30, 2).repartition(5)
+        assert rdd.getNumPartitions() == 5
+        assert sorted(rdd.collect()) == list(range(30))
+
+    def test_empty_rdd(self, sc):
+        assert sc.emptyRDD().collect() == []
+        assert sc.emptyRDD().count() == 0
+
+    def test_parallelize_more_partitions_than_items(self, sc):
+        rdd = sc.parallelize([1, 2], 10)
+        assert rdd.collect() == [1, 2]
+        assert rdd.getNumPartitions() <= 2
+
+
+class TestShuffles:
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+        got = sc.parallelize(pairs, 3).reduceByKey(lambda a, b: a + b)
+        assert sorted(got.collect()) == [("a", 4), ("b", 6), ("c", 5)]
+
+    def test_group_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        got = dict(sc.parallelize(pairs, 2).groupByKey().collect())
+        assert sorted(got["a"]) == [1, 3]
+        assert got["b"] == [2]
+
+    def test_fold_by_key(self, sc):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        got = dict(sc.parallelize(pairs, 2).foldByKey(10, max).collect())
+        assert got == {"a": 10, "b": 10}
+
+    def test_aggregate_by_key_no_zero_aliasing(self, sc):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        got = dict(
+            sc.parallelize(pairs, 3)
+            .aggregateByKey([], lambda acc, v: acc + [v],
+                            lambda a, b: a + b)
+            .collect()
+        )
+        assert sorted(got["a"]) == [1, 2]
+        assert got["b"] == [3]
+
+    def test_combine_by_key(self, sc):
+        pairs = [("x", 1), ("x", 2), ("y", 5)]
+        got = dict(
+            sc.parallelize(pairs, 2)
+            .combineByKey(
+                lambda v: (v, 1),
+                lambda c, v: (c[0] + v, c[1] + 1),
+                lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            )
+            .collect()
+        )
+        assert got == {"x": (3, 2), "y": (5, 1)}
+
+    def test_count_by_key_value(self, sc):
+        pairs = [("a", 1), ("a", 2), ("b", 1)]
+        assert sc.parallelize(pairs).countByKey() == {"a": 2, "b": 1}
+        assert sc.parallelize([1, 1, 2]).countByValue() == {1: 2, 2: 1}
+
+    def test_join(self, sc):
+        left = sc.parallelize([(1, "a"), (2, "b")])
+        right = sc.parallelize([(1, "x"), (1, "y"), (3, "z")])
+        assert sorted(left.join(right).collect()) == [
+            (1, ("a", "x")), (1, ("a", "y"))
+        ]
+
+    def test_left_outer_join(self, sc):
+        left = sc.parallelize([(1, "a"), (2, "b")])
+        right = sc.parallelize([(1, "x")])
+        assert sorted(left.leftOuterJoin(right).collect()) == [
+            (1, ("a", "x")), (2, ("b", None))
+        ]
+
+    def test_right_outer_join(self, sc):
+        left = sc.parallelize([(1, "a")])
+        right = sc.parallelize([(1, "x"), (2, "y")])
+        assert sorted(right.rightOuterJoin(left).collect()) == [
+            (1, ("x", "a"))
+        ]
+        assert sorted(left.rightOuterJoin(right).collect()) == [
+            (1, ("a", "x")), (2, (None, "y"))
+        ]
+
+    def test_full_outer_join(self, sc):
+        left = sc.parallelize([(1, "a")])
+        right = sc.parallelize([(2, "y")])
+        assert sorted(left.fullOuterJoin(right).collect()) == [
+            (1, ("a", None)), (2, (None, "y"))
+        ]
+
+    def test_cogroup(self, sc):
+        left = sc.parallelize([(1, "a"), (1, "b")])
+        right = sc.parallelize([(1, "x"), (2, "y")])
+        got = dict(left.cogroup(right).collect())
+        assert sorted(got[1][0]) == ["a", "b"]
+        assert got[1][1] == ["x"]
+        assert got[2] == ([], ["y"])
+
+    def test_partition_by_routes_same_key_together(self, sc):
+        from repro.sparklet import HashPartitioner
+
+        rdd = sc.parallelize([(i % 5, i) for i in range(50)], 4).partitionBy(
+            HashPartitioner(3)
+        )
+        for part in rdd.glom().collect():
+            keys = {k for k, _ in part}
+            for k in keys:
+                # All values for k must be in exactly this partition.
+                assert sum(1 for p2 in rdd.glom().collect()
+                           if any(kk == k for kk, _ in p2)) == 1
+
+    def test_sort_by_ascending_descending(self, sc):
+        data = [5, 3, 8, 1, 9, 2, 7]
+        rdd = sc.parallelize(data, 3)
+        assert rdd.sortBy(lambda x: x).collect() == sorted(data)
+        assert rdd.sortBy(lambda x: x, ascending=False).collect() == sorted(
+            data, reverse=True
+        )
+
+    def test_sort_by_key(self, sc):
+        pairs = [(3, "c"), (1, "a"), (2, "b")]
+        assert sc.parallelize(pairs, 2).sortByKey().collect() == [
+            (1, "a"), (2, "b"), (3, "c")
+        ]
+
+    def test_sort_stability_of_total_order(self, sc):
+        import random
+
+        rng = random.Random(3)
+        data = [rng.randrange(1000) for _ in range(500)]
+        got = sc.parallelize(data, 7).sortBy(lambda x: x).collect()
+        assert got == sorted(data)
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.range(101, 7).count() == 101
+
+    def test_reduce(self, sc):
+        assert sc.range(10, 3).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_with_empty_partitions(self, sc):
+        assert sc.parallelize([5], 4).reduce(lambda a, b: a + b) == 5
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.emptyRDD().reduce(lambda a, b: a + b)
+
+    def test_fold(self, sc):
+        assert sc.range(5, 2).fold(0, lambda a, b: a + b) == 10
+
+    def test_fold_mutable_zero_not_shared(self, sc):
+        got = sc.parallelize([1, 2, 3], 3).fold(
+            [], lambda a, b: a + ([b] if not isinstance(b, list) else b)
+        )
+        assert sorted(got) == [1, 2, 3]
+
+    def test_aggregate(self, sc):
+        total, count = sc.range(10, 4).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert (total, count) == (45, 10)
+
+    def test_take_first(self, sc):
+        rdd = sc.range(100, 10)
+        assert rdd.take(5) == [0, 1, 2, 3, 4]
+        assert rdd.take(0) == []
+        assert rdd.first() == 0
+
+    def test_first_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.emptyRDD().first()
+
+    def test_take_more_than_size(self, sc):
+        assert sc.parallelize([1, 2]).take(10) == [1, 2]
+
+    def test_top_take_ordered(self, sc):
+        rdd = sc.parallelize([5, 1, 9, 3], 2)
+        assert rdd.top(2) == [9, 5]
+        assert rdd.takeOrdered(2) == [1, 3]
+        assert rdd.top(2, key=lambda x: -x) == [1, 3]
+
+    def test_sum_min_max_mean(self, sc):
+        rdd = sc.parallelize([4.0, 1.0, 7.0], 2)
+        assert rdd.sum() == 12.0
+        assert rdd.min() == 1.0
+        assert rdd.max() == 7.0
+        assert rdd.mean() == 4.0
+
+    def test_mean_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.emptyRDD().mean()
+
+    def test_collect_as_map_lookup(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        assert rdd.lookup("a") == [1, 3]
+        assert rdd.collectAsMap()["b"] == 2
+
+    def test_is_empty(self, sc):
+        assert sc.emptyRDD().isEmpty()
+        assert not sc.parallelize([0]).isEmpty()
+
+    def test_foreach_via_accumulator(self, sc):
+        acc = sc.accumulator(0)
+        sc.range(10, 3).foreach(lambda x: acc.add(x))
+        assert acc.value == 45
+
+
+class TestCaching:
+    def test_cache_computes_once(self, sc):
+        calls = sc.accumulator(0)
+
+        def spy(x):
+            calls.add(1)
+            return x
+
+        rdd = sc.range(10, 2).map(spy).cache()
+        assert rdd.count() == 10
+        assert rdd.count() == 10
+        assert calls.value == 10  # second action served from cache
+        assert rdd.is_cached
+        rdd.unpersist()
+        assert not rdd.is_cached
+        assert rdd.count() == 10
+        assert calls.value == 20

@@ -1,0 +1,191 @@
+"""Tests for the extended RDD API: stats, histogram, set ops, sampling."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparklet import SparkletContext
+from repro.sparklet.rdd import StatCounter
+
+
+@pytest.fixture(scope="module")
+def sc():
+    ctx = SparkletContext(3)
+    yield ctx
+    ctx.stop()
+
+
+class TestStatCounter:
+    def test_single_values(self):
+        counter = StatCounter()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            counter.merge_value(v)
+        assert counter.count == 4
+        assert counter.mean == pytest.approx(2.5)
+        assert counter.variance == pytest.approx(
+            statistics.pvariance([1, 2, 3, 4]))
+        assert counter.min == 1.0
+        assert counter.max == 4.0
+
+    def test_merge_counters_equivalent_to_combined(self):
+        a, b, ref = StatCounter(), StatCounter(), StatCounter()
+        for v in (1.0, 5.0, 2.0):
+            a.merge_value(v)
+            ref.merge_value(v)
+        for v in (7.0, 3.0):
+            b.merge_value(v)
+            ref.merge_value(v)
+        a.merge_counter(b)
+        assert a.count == ref.count
+        assert a.mean == pytest.approx(ref.mean)
+        assert a.variance == pytest.approx(ref.variance)
+
+    def test_merge_with_empty(self):
+        a = StatCounter().merge_value(2.0)
+        a.merge_counter(StatCounter())
+        assert a.count == 1
+        empty = StatCounter()
+        empty.merge_counter(a)
+        assert empty.mean == 2.0
+
+    def test_empty_stats_nan(self):
+        assert math.isnan(StatCounter().variance)
+
+
+class TestStatsActions:
+    def test_stats_matches_statistics_module(self, sc):
+        data = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        stats = sc.parallelize(data, 3).stats()
+        assert stats.count == len(data)
+        assert stats.mean == pytest.approx(statistics.fmean(data))
+        assert stats.stdev == pytest.approx(statistics.pstdev(data))
+        assert sc.parallelize(data, 2).stdev() == pytest.approx(
+            statistics.pstdev(data))
+        assert sc.parallelize(data, 2).variance() == pytest.approx(
+            statistics.pvariance(data))
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.lists(st.floats(-100, 100, allow_nan=False),
+                         min_size=1, max_size=40),
+           n=st.integers(1, 5))
+    def test_stats_partition_invariant(self, sc, data, n):
+        stats = sc.parallelize(data, n).stats()
+        assert stats.mean == pytest.approx(statistics.fmean(data))
+        assert stats.count == len(data)
+
+
+class TestHistogram:
+    def test_equal_width_buckets(self, sc):
+        edges, counts = sc.parallelize([0.0, 1.0, 2.0, 3.0, 4.0], 2
+                                       ).histogram(4)
+        assert edges == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert counts == [1, 1, 1, 2]  # last bucket closed: includes 4.0
+
+    def test_explicit_edges(self, sc):
+        edges, counts = sc.parallelize([1, 5, 9, 20], 2).histogram(
+            [0, 10, 30])
+        assert counts == [3, 1]
+
+    def test_out_of_range_ignored(self, sc):
+        _e, counts = sc.parallelize([-5, 1, 2, 99], 2).histogram([0, 3])
+        assert counts == [2]
+
+    def test_constant_data(self, sc):
+        edges, counts = sc.parallelize([7, 7, 7]).histogram(5)
+        assert edges == [7.0, 7.0]
+        assert counts == [3]
+
+    def test_validation(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([1]).histogram(0)
+        with pytest.raises(ValueError):
+            sc.parallelize([1]).histogram([3, 2, 1])
+        with pytest.raises(ValueError):
+            sc.emptyRDD().histogram(3)
+
+    def test_counts_sum_to_in_range(self, sc):
+        data = list(range(100))
+        _e, counts = sc.parallelize(data, 4).histogram(7)
+        assert sum(counts) == 100
+
+
+class TestSetOperations:
+    def test_subtract(self, sc):
+        got = sorted(
+            sc.parallelize([1, 2, 2, 3], 2)
+            .subtract(sc.parallelize([2, 4]))
+            .collect()
+        )
+        assert got == [1, 3]
+
+    def test_subtract_keeps_left_multiplicity(self, sc):
+        got = sorted(
+            sc.parallelize([1, 1, 3], 2)
+            .subtract(sc.parallelize([3]))
+            .collect()
+        )
+        assert got == [1, 1]
+
+    def test_intersection_distinct(self, sc):
+        got = sorted(
+            sc.parallelize([1, 2, 2, 3], 2)
+            .intersection(sc.parallelize([2, 2, 3, 4]))
+            .collect()
+        )
+        assert got == [2, 3]
+
+    def test_cartesian(self, sc):
+        got = sorted(
+            sc.parallelize([1, 2]).cartesian(sc.parallelize(["a", "b"]))
+            .collect()
+        )
+        assert got == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_zip(self, sc):
+        got = sc.parallelize([1, 2, 3], 2).zip(
+            sc.parallelize(["a", "b", "c"], 3)).collect()
+        assert got == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_zip_length_mismatch(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([1, 2]).zip(sc.parallelize([1])).collect()
+
+
+class TestSampling:
+    def test_take_sample_size(self, sc):
+        rdd = sc.range(100, 4)
+        sample = rdd.takeSample(10, seed=3)
+        assert len(sample) == 10
+        assert set(sample) <= set(range(100))
+
+    def test_take_sample_all(self, sc):
+        assert sorted(sc.range(5).takeSample(10)) == list(range(5))
+
+    def test_take_sample_deterministic(self, sc):
+        rdd = sc.range(100, 4)
+        assert rdd.takeSample(5, seed=1) == rdd.takeSample(5, seed=1)
+
+    def test_take_sample_validation(self, sc):
+        with pytest.raises(ValueError):
+            sc.range(5).takeSample(-1)
+
+    def test_sample_by_key(self, sc):
+        pairs = [("keep", i) for i in range(200)] + [
+            ("drop", i) for i in range(200)]
+        got = sc.parallelize(pairs, 4).sampleByKey(
+            {"keep": 1.0, "drop": 0.0}).collect()
+        assert len(got) == 200
+        assert all(k == "keep" for k, _v in got)
+
+    def test_sample_by_key_fractional(self, sc):
+        pairs = [("a", i) for i in range(1000)]
+        got = sc.parallelize(pairs, 4).sampleByKey({"a": 0.3}, seed=9)
+        n = len(got.collect())
+        assert 200 < n < 400
+
+    def test_sample_by_key_validation(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([("a", 1)]).sampleByKey({"a": 2.0})

@@ -1,0 +1,217 @@
+"""Tests for the micro-batch streaming layer."""
+
+import pytest
+
+from repro.sparklet import SparkletContext
+from repro.sparklet.streaming import StreamingContext
+
+
+@pytest.fixture
+def sc():
+    ctx = SparkletContext(2)
+    yield ctx
+    ctx.stop()
+
+
+class TestBatching:
+    def test_records_land_in_their_batch(self, sc):
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+        inp.push("a", 0.2)
+        inp.push("b", 0.9)
+        inp.push("c", 1.1)
+        ssc.advance(2)
+        assert out == [["a", "b"], ["c"]]
+
+    def test_empty_batches_produce_no_output(self, sc):
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+        inp.push("x", 2.5)
+        ssc.advance(3)
+        assert out == [["x"]]
+        assert ssc.batches_run == 3
+
+    def test_custom_interval(self, sc):
+        ssc = StreamingContext(sc, batch_interval=0.5)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+        inp.push("a", 0.1)
+        inp.push("b", 0.6)
+        ssc.advance(2)
+        assert out == [["a"], ["b"]]
+
+    def test_invalid_interval(self, sc):
+        with pytest.raises(ValueError):
+            StreamingContext(sc, batch_interval=0)
+
+    def test_late_data_folded_forward(self, sc):
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+        ssc.advance(2)  # batches 0,1 already gone
+        inp.push("late", 0.5)  # timestamp in batch 0
+        ssc.advance(1)
+        assert out == [["late"]]
+
+    def test_advance_to(self, sc):
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+        inp.push_many([("a", 0.1), ("b", 1.1), ("c", 2.1)])
+        ssc.advance_to(2.0)  # completes batches 0 and 1 only
+        assert out == [["a"], ["b"]]
+
+    def test_queue_stream(self, sc):
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.queue_stream([[1, 2], [], [3]])
+        out = []
+        inp.collect_batches(out)
+        ssc.advance(3)
+        assert out == [[1, 2], [3]]
+
+
+class TestTransformations:
+    def test_map_filter_chain(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.map(lambda x: x * 2).filter(lambda x: x > 2).collect_batches(out)
+        inp.push_many([(1, 0.1), (2, 0.2), (3, 0.3)])
+        ssc.advance(1)
+        assert out == [[4, 6]]
+
+    def test_flatmap(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.flatMap(str.split).collect_batches(out)
+        inp.push("hello world", 0.0)
+        ssc.advance(1)
+        assert out == [["hello", "world"]]
+
+    def test_reduce_by_key_per_batch(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.map(lambda e: (e, 1)).reduceByKey(lambda a, b: a + b).collect_batches(out)
+        inp.push_many([("a", 0.1), ("a", 0.2), ("b", 0.3), ("a", 1.5)])
+        ssc.advance(2)
+        assert sorted(out[0]) == [("a", 2), ("b", 1)]
+        assert out[1] == [("a", 1)]
+
+    def test_union_of_streams(self, sc):
+        ssc = StreamingContext(sc)
+        in1, in2 = ssc.input_stream(), ssc.input_stream()
+        out = []
+        in1.union(in2).collect_batches(out)
+        in1.push("x", 0.1)
+        in2.push("y", 0.2)
+        ssc.advance(1)
+        assert sorted(out[0]) == ["x", "y"]
+
+    def test_count(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.count().collect_batches(out)
+        inp.push_many([("e", 0.1), ("e", 0.5)])
+        ssc.advance(1)
+        assert out == [[2]]
+
+    def test_transform_arbitrary(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.transform(lambda rdd: rdd.sortBy(lambda x: x)).collect_batches(out)
+        inp.push_many([(3, 0.1), (1, 0.2), (2, 0.3)])
+        ssc.advance(1)
+        assert out == [[1, 2, 3]]
+
+
+class TestWindows:
+    def test_sliding_window_union(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.window(2).collect_batches(out)
+        inp.push_many([("a", 0.5), ("b", 1.5), ("c", 2.5)])
+        ssc.advance(3)
+        assert out[0] == ["a"]
+        assert sorted(out[1]) == ["a", "b"]
+        assert sorted(out[2]) == ["b", "c"]
+
+    def test_window_with_slide(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.window(2, slide_batches=2).collect_batches(out)
+        inp.push_many([("a", 0.5), ("b", 1.5), ("c", 2.5), ("d", 3.5)])
+        ssc.advance(4)
+        # Fires after batches 1 and 3 only.
+        assert len(out) == 2
+        assert sorted(out[0]) == ["a", "b"]
+        assert sorted(out[1]) == ["c", "d"]
+
+    def test_reduce_by_key_and_window(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.map(lambda e: (e, 1)).reduceByKeyAndWindow(
+            lambda a, b: a + b, 3
+        ).collect_batches(out)
+        inp.push_many([("a", 0.1), ("a", 1.1), ("a", 2.1), ("a", 3.1)])
+        ssc.advance(4)
+        assert out[2] == [("a", 3)]
+        assert out[3] == [("a", 3)]  # first batch fell out of the window
+
+    def test_count_by_window(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.countByWindow(2).collect_batches(out)
+        inp.push_many([("x", 0.5), ("y", 1.5)])
+        ssc.advance(2)
+        assert out == [[1], [2]]
+
+    def test_invalid_window(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        with pytest.raises(ValueError):
+            inp.window(0)
+
+
+class TestState:
+    def test_running_counts(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+        inp.map(lambda e: (e, 1)).updateStateByKey(
+            lambda new, old: (old or 0) + sum(new)
+        ).collect_batches(out)
+        inp.push_many([("a", 0.1), ("a", 1.1), ("b", 1.2)])
+        ssc.advance(3)
+        assert dict(out[0]) == {"a": 1}
+        assert dict(out[1]) == {"a": 2, "b": 1}
+        assert dict(out[2]) == {"a": 2, "b": 1}  # carried with no new data
+
+    def test_state_drop_on_none(self, sc):
+        ssc = StreamingContext(sc)
+        inp = ssc.input_stream()
+        out = []
+
+        def update(new, old):
+            total = (old or 0) + sum(new)
+            return None if total >= 2 else total
+
+        inp.map(lambda e: (e, 1)).updateStateByKey(update).collect_batches(out)
+        inp.push_many([("a", 0.1), ("a", 1.1)])
+        ssc.advance(2)
+        assert dict(out[0]) == {"a": 1}
+        assert dict(out[1]) == {}  # reached 2 -> dropped

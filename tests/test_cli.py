@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def log_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("clilogs")
+    rc = main([
+        "generate", "--rows", "1", "--cols", "1", "--hours", "4",
+        "--rate-multiplier", "50", "--seed", "5", "--jobs",
+        "--out", str(directory),
+    ])
+    assert rc == 0
+    return directory
+
+
+class TestGenerate:
+    def test_files_written(self, log_dir):
+        names = {p.name for p in log_dir.iterdir()}
+        assert {"console.log", "netwatch.log", "apps.log",
+                "ground_truth.json", "jobs.json"} <= names
+
+    def test_ground_truth_valid_json(self, log_dir):
+        truth = json.loads((log_dir / "ground_truth.json").read_text())
+        assert "hot_nodes" in truth
+        assert "MCE" in truth["hot_nodes"]
+
+    def test_jobs_valid_json(self, log_dir):
+        jobs = json.loads((log_dir / "jobs.json").read_text())
+        assert jobs
+        assert {"apid", "app", "user", "start", "end",
+                "nodes", "exit_status"} <= set(jobs[0])
+
+    def test_deterministic(self, tmp_path):
+        for sub in ("a", "b"):
+            main(["generate", "--rows", "1", "--cols", "1", "--hours", "2",
+                  "--seed", "9", "--out", str(tmp_path / sub)])
+        a = (tmp_path / "a" / "console.log").read_text()
+        b = (tmp_path / "b" / "console.log").read_text()
+        assert a == b
+
+
+class TestIngest:
+    def test_ingest_reports_health(self, log_dir, capsys):
+        rc = main([
+            "ingest", "--rows", "1", "--cols", "1",
+            str(log_dir / "*.log"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "unparsed:  0" in out
+        lines = int(out.split("lines:")[1].split()[0])
+        assert lines > 0
+
+    def test_ingest_flags_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.log"
+        bad.write_text("this is not a log line\n")
+        rc = main(["ingest", "--rows", "1", "--cols", "1", str(bad)])
+        assert rc == 1
+
+
+class TestAnalyze:
+    def test_heatmap_text(self, log_dir, capsys):
+        rc = main([
+            "analyze", "--rows", "1", "--cols", "1",
+            "--view", "heatmap", "--event-type", "MCE",
+            str(log_dir / "*.log"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MCE heat map" in out
+
+    def test_hotspots_json_matches_ground_truth(self, log_dir, capsys):
+        rc = main([
+            "analyze", "--rows", "1", "--cols", "1",
+            "--view", "hotspots", "--event-type", "MCE", "--json",
+            str(log_dir / "*.log"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        spots = json.loads(out)
+        truth = json.loads((log_dir / "ground_truth.json").read_text())
+        flagged = {s["component"] for s in spots}
+        assert set(truth["hot_nodes"]["MCE"]) <= flagged
+
+    def test_temporal_json(self, log_dir, capsys):
+        rc = main([
+            "analyze", "--rows", "1", "--cols", "1",
+            "--view", "temporal", "--event-type", "LUSTRE_ERR", "--json",
+            str(log_dir / "*.log"),
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert len(payload["counts"]) == 24
+
+    def test_synopsis(self, log_dir, capsys):
+        rc = main([
+            "analyze", "--rows", "1", "--cols", "1",
+            "--view", "synopsis", "--json",
+            str(log_dir / "*.log"),
+        ])
+        rows = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert rows
+        assert {"hour", "type", "occurrences"} <= set(rows[0])
+
+
+class TestTopology:
+    def test_cname_query(self, capsys):
+        rc = main(["topology", "c3-17c1s5n2"])
+        info = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert info["cabinet"] == "c3-17"
+        assert info["router_peer"] == "c3-17c1s5n3"
+
+    def test_index_query(self, capsys):
+        rc = main(["topology", "0"])
+        info = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert info["cname"] == "c0-0c0s0n0"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            main(["topology", "not-a-node"])
