@@ -23,9 +23,15 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
+from repro import obs
 from repro.cassdb.hashring import token_for_key
 
 __all__ = ["Record", "Topic", "MessageBus"]
+
+_M_PUBLISHED = obs.get_registry().counter("bus.published")
+_M_FETCHED = obs.get_registry().counter("bus.fetched_records")
+# Total records retained across every topic of every in-process broker.
+_G_QUEUE_DEPTH = obs.get_registry().gauge("bus.queue_depth")
 
 
 @dataclass(frozen=True, slots=True)
@@ -116,12 +122,17 @@ class MessageBus:
     def publish(self, topic: str, value: Any, key: str | None = None,
                 timestamp: float = 0.0) -> Record:
         with self._lock:
-            return self.topic(topic).append(key, value, timestamp)
+            record = self.topic(topic).append(key, value, timestamp)
+        _M_PUBLISHED.inc()
+        _G_QUEUE_DEPTH.inc()
+        return record
 
     def fetch(self, topic: str, partition: int, offset: int,
               max_records: int = 1000) -> list[Record]:
         with self._lock:
-            return self.topic(topic).read(partition, offset, max_records)
+            records = self.topic(topic).read(partition, offset, max_records)
+        _M_FETCHED.inc(len(records))
+        return records
 
     # -- consumer-group offsets --------------------------------------------------
 
@@ -135,6 +146,13 @@ class MessageBus:
             if offset < self._offsets.get(key, 0):
                 raise ValueError("cannot commit backwards")
             self._offsets[key] = offset
+            lag = sum(
+                self._topics[topic].end_offset(p)
+                - self._offsets.get((group, topic, p), 0)
+                for p in range(self._topics[topic].num_partitions)
+            )
+        obs.get_registry().gauge(
+            "bus.consumer_lag", group=group, topic=topic).set(lag)
 
     def reset_group(self, group: str, topic: str) -> None:
         """Rewind a group to the beginning of the topic (replay)."""

@@ -27,6 +27,8 @@ import time
 from enum import Enum
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import obs
+
 from .errors import (
     NodeDownError,
     ReadTimeoutError,
@@ -104,6 +106,20 @@ class Cluster:
         self.coordinator_reads = 0
         self.hinted_writes = 0
         self.read_repairs = 0
+        # Process-wide obs series (shared across Cluster instances).
+        registry = obs.get_registry()
+        self._m_reads = registry.counter("cassdb.coordinator.reads")
+        self._m_writes = registry.counter("cassdb.coordinator.writes")
+        self._m_read_latency = registry.histogram(
+            "cassdb.coordinator.read_latency_ms")
+        self._m_write_latency = registry.histogram(
+            "cassdb.coordinator.write_latency_ms")
+        self._m_hints_buffered = registry.counter("cassdb.hints.buffered")
+        self._m_hints_replayed = registry.counter("cassdb.hints.replayed")
+        self._m_read_repairs = registry.counter("cassdb.read_repairs")
+        self._m_consistency_failures = registry.counter(
+            "cassdb.consistency.failures")
+        self._m_locality_reads = registry.counter("cassdb.locality.reads")
 
     # -- schema -----------------------------------------------------------
 
@@ -136,6 +152,7 @@ class Cluster:
                 continue
             for hint in peer.drain_hints_for(node_id):
                 node.write(hint.table, hint.partition_key, hint.row)
+                self._m_hints_replayed.inc()
 
     # -- write path ---------------------------------------------------------
 
@@ -189,17 +206,25 @@ class Cluster:
     def _replicated_write(
         self, table: str, partition_key: str, row: Row, consistency: Consistency
     ) -> None:
-        with self._op_lock:
-            self._replicated_write_locked(table, partition_key, row, consistency)
+        start = time.perf_counter()
+        with obs.get_tracer().span(
+            "cassdb.write", table=table, partition=partition_key
+        ):
+            with self._op_lock:
+                self._replicated_write_locked(
+                    table, partition_key, row, consistency)
+        self._m_write_latency.observe((time.perf_counter() - start) * 1000.0)
 
     def _replicated_write_locked(
         self, table: str, partition_key: str, row: Row, consistency: Consistency
     ) -> None:
         self.coordinator_writes += 1
+        self._m_writes.inc()
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
         alive = [r for r in replicas if self.nodes[r].up]
         if len(alive) < required:
+            self._m_consistency_failures.inc()
             raise UnavailableError(required, len(alive))
         coordinator = self.nodes[alive[0]]
         acks = 0
@@ -213,7 +238,9 @@ class Cluster:
                     Hint(replica_id, table, partition_key, row)
                 )
                 self.hinted_writes += 1
+                self._m_hints_buffered.inc()
         if acks < required:  # pragma: no cover - guarded by Unavailable above
+            self._m_consistency_failures.inc()
             raise WriteTimeoutError(required, acks)
 
     # -- read path ------------------------------------------------------------
@@ -260,10 +287,18 @@ class Cluster:
         limit: int | None,
         consistency: Consistency,
     ) -> list[Row]:
-        with self._op_lock:
-            return self._replicated_read_locked(
-                table, partition_key, lower, upper, reverse, limit, consistency
-            )
+        start = time.perf_counter()
+        with obs.get_tracer().span(
+            "cassdb.read", table=table, partition=partition_key
+        ) as span:
+            with self._op_lock:
+                rows = self._replicated_read_locked(
+                    table, partition_key, lower, upper, reverse, limit,
+                    consistency,
+                )
+            span.set(rows=len(rows))
+        self._m_read_latency.observe((time.perf_counter() - start) * 1000.0)
+        return rows
 
     def _replicated_read_locked(
         self,
@@ -276,10 +311,12 @@ class Cluster:
         consistency: Consistency,
     ) -> list[Row]:
         self.coordinator_reads += 1
+        self._m_reads.inc()
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
         alive = [r for r in replicas if self.nodes[r].up]
         if len(alive) < required:
+            self._m_consistency_failures.inc()
             raise UnavailableError(required, len(alive))
         responses: dict[str, list[Row]] = {}
         for replica_id in alive[:required]:
@@ -290,6 +327,7 @@ class Cluster:
             except NodeDownError:  # raced with a kill; treat as no response
                 pass
         if len(responses) < required:
+            self._m_consistency_failures.inc()
             raise ReadTimeoutError(required, len(responses))
         merged = self._reconcile_reads(table, partition_key, responses)
         # Re-apply ordering and limit after reconciliation: replicas may
@@ -321,6 +359,7 @@ class Cluster:
                 if stale is None or stale.cells != row.cells:
                     self.nodes[replica_id].write(table, partition_key, row)
                     self.read_repairs += 1
+                    self._m_read_repairs.inc()
         return [r for r in merged.values() if r.is_live]
 
     # -- full scans & placement introspection ---------------------------------
@@ -369,8 +408,16 @@ class Cluster:
     ) -> list[dict[str, Any]]:
         """Locality read: fetch one partition by ring key from any alive
         replica, rehydrated to plain dicts (sparklet task input)."""
-        with self._op_lock:
-            return self._read_partition_raw_locked(table, partition_key)
+        start = time.perf_counter()
+        self._m_locality_reads.inc()
+        with obs.get_tracer().span(
+            "cassdb.read", table=table, partition=partition_key, locality=True
+        ) as span:
+            with self._op_lock:
+                rows = self._read_partition_raw_locked(table, partition_key)
+            span.set(rows=len(rows))
+        self._m_read_latency.observe((time.perf_counter() - start) * 1000.0)
+        return rows
 
     def _read_partition_raw_locked(
         self, table: str, partition_key: str

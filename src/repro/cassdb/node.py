@@ -13,11 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro import obs
+
 from .errors import NodeDownError
 from .row import ClusteringBound, Row
 from .storage import TableStore
 
 __all__ = ["Hint", "StorageNode"]
+
+# Node ops are the innermost hot path; handles are module-level so a
+# read costs one counter increment, not a registry lookup.
+_M_NODE_READS = obs.get_registry().counter("cassdb.node.reads")
+_M_NODE_WRITES = obs.get_registry().counter("cassdb.node.writes")
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,7 +83,10 @@ class StorageNode:
 
     def write(self, table: str, partition_key: str, row: Row) -> None:
         self._check_up()
-        self.ensure_table(table).write(partition_key, row)
+        _M_NODE_WRITES.inc()
+        with obs.get_tracer().span("cassdb.node.write", node=self.node_id,
+                                   table=table):
+            self.ensure_table(table).write(partition_key, row)
 
     def delete(self, table: str, partition_key: str, clustering: tuple,
                tombstone_ts: int) -> None:
@@ -93,10 +103,16 @@ class StorageNode:
         limit: int | None = None,
     ) -> list[Row]:
         self._check_up()
+        _M_NODE_READS.inc()
         store = self.tables.get(table)
         if store is None:
             return []
-        return store.read_partition(partition_key, lower, upper, reverse, limit)
+        with obs.get_tracer().span("cassdb.node.read", node=self.node_id,
+                                   table=table) as span:
+            rows = store.read_partition(partition_key, lower, upper,
+                                        reverse, limit)
+            span.set(rows=len(rows))
+        return rows
 
     def partition_keys(self, table: str) -> set[str]:
         """Partitions of *table* replicated on this node (liveness ignored:

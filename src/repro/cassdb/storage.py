@@ -11,11 +11,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 from .memtable import Memtable
 from .row import ClusteringBound, Row
 from .sstable import SSTable, merge_sstables, scan_partition, _merge_sorted_rows
 
 __all__ = ["StoreStats", "TableStore"]
+
+# Shared across every TableStore: the LSM-health counters the bloom-hit
+# -rate and flush/compaction dashboards are built from.
+_M_FLUSHES = obs.get_registry().counter("cassdb.store.flushes")
+_M_COMPACTIONS = obs.get_registry().counter("cassdb.store.compactions")
+_M_BLOOM_SKIPS = obs.get_registry().counter("cassdb.store.bloom_skips")
+_M_SSTABLE_PROBES = obs.get_registry().counter("cassdb.store.sstable_probes")
+_M_FLUSHED_ROWS = obs.get_registry().histogram(
+    "cassdb.store.flush_rows", buckets=(100, 1000, 10_000, 100_000))
 
 
 @dataclass
@@ -67,9 +78,13 @@ class TableStore:
         """Freeze the memtable into a new SSTable (no-op when empty)."""
         if not self.memtable.row_count:
             return
-        self.sstables.append(SSTable.from_memtable(self.memtable))
-        self.memtable = Memtable()
+        flushed_rows = self.memtable.row_count
+        with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
+            self.sstables.append(SSTable.from_memtable(self.memtable))
+            self.memtable = Memtable()
         self.stats.flushes += 1
+        _M_FLUSHES.inc()
+        _M_FLUSHED_ROWS.observe(flushed_rows)
         if len(self.sstables) > self.max_sstables:
             self.compact()
 
@@ -77,8 +92,11 @@ class TableStore:
         """Merge all runs into one, dropping shadowed data and tombstones."""
         if len(self.sstables) <= 1:
             return
-        self.sstables = [merge_sstables(self.sstables)]
+        with obs.get_tracer().span("cassdb.store.compact",
+                                   runs=len(self.sstables)):
+            self.sstables = [merge_sstables(self.sstables)]
         self.stats.compactions += 1
+        _M_COMPACTIONS.inc()
 
     # -- read path ------------------------------------------------------
 
@@ -104,8 +122,10 @@ class TableStore:
         for sst in self.sstables:
             if not sst.maybe_contains(partition_key):
                 self.stats.bloom_skips += 1
+                _M_BLOOM_SKIPS.inc()
                 continue
             self.stats.sstable_probes += 1
+            _M_SSTABLE_PROBES.inc()
             rows = sst.partitions.get(partition_key)
             if rows:
                 sources.append(rows)

@@ -7,6 +7,9 @@ paper's workflow without writing Python:
 * ``ingest``   — batch-ETL raw logs and report ETL health;
 * ``analyze``  — one-shot analytics on raw logs: heat map, hot spots,
   temporal map, or storm keywords for a time window;
+* ``metrics``  — run a query workload through the analytics server and
+  dump the observability picture (metrics snapshot, span tree of the
+  last request, slow-query log) as JSON;
 * ``topology`` — inspect the Titan coordinate system.
 
 Every command is deterministic given ``--seed``.
@@ -70,6 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="window end seconds (default: all data)")
     ana.add_argument("--json", action="store_true", dest="as_json",
                      help="emit JSON instead of text rendering")
+
+    met = sub.add_parser(
+        "metrics",
+        help="run a query workload and dump telemetry as JSON")
+    add_machine_args(met)
+    met.add_argument("logs", nargs="+", help="raw log files (globs ok)")
+    met.add_argument("--op", default="heatmap",
+                     choices=["heatmap", "hotspots", "histogram",
+                              "distribution", "keywords"],
+                     help="server op to drive through the span tree")
+    met.add_argument("--event-type", default="MCE")
+    met.add_argument("--repeat", type=int, default=1,
+                     help="issue the op this many times")
+    met.add_argument("--slow-ms", type=float, default=0.0,
+                     help="slow-query threshold (0 logs everything)")
 
     topo = sub.add_parser("topology", help="inspect Titan coordinates")
     topo.add_argument("query", help="a cname (c3-17c1s5n2) or node index")
@@ -140,17 +158,21 @@ def _cmd_ingest(args) -> int:
     return 0 if stats.unparsed == 0 else 1
 
 
+def _data_horizon(fw, t0: float) -> float:
+    """End of data: latest event time (+1 s) across the full store."""
+    return max(
+        (r["ts"] for r in fw.sc.cassandraTable("event_by_time")
+         .map(lambda r: {"ts": r["ts"]}).collect()),
+        default=t0,
+    ) + 1.0
+
+
 def _cmd_analyze(args) -> int:
     fw = _framework(args)
     fw.ingest_batch(_expand(args.logs), coalesce_seconds=None)
     t1 = args.t1
     if t1 is None:
-        # End of data: latest event time (+1 s) across the full store.
-        t1 = max(
-            (r["ts"] for r in fw.sc.cassandraTable("event_by_time")
-             .map(lambda r: {"ts": r["ts"]}).collect()),
-            default=args.t0,
-        ) + 1.0
+        t1 = _data_horizon(fw, args.t0)
     ctx = fw.context(args.t0, max(t1, args.t0 + 1.0),
                      event_types=(args.event_type,))
     if args.view == "heatmap":
@@ -191,6 +213,40 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    """Ingest, serve --repeat requests, print the telemetry picture."""
+    import asyncio
+
+    from repro import obs
+    from repro.core import AnalyticsServer
+
+    fw = _framework(args)
+    fw.ingest_batch(_expand(args.logs), coalesce_seconds=None)
+    slow_log = obs.SlowQueryLog(threshold_ms=args.slow_ms)
+    server = AnalyticsServer(fw, slow_log=slow_log)
+    ctx = fw.context(0.0, _data_horizon(fw, 0.0),
+                     event_types=(args.event_type,))
+    request = {"op": args.op, "context": ctx.to_json()}
+
+    async def drive():
+        for _ in range(max(1, args.repeat)):
+            response = await server.handle(request)
+            if not response["ok"]:
+                raise SystemExit(f"request failed: {response['error']}")
+        return await server.handle({"op": "trace"})
+
+    trace = asyncio.run(drive())
+    print(json.dumps({
+        "op": args.op,
+        "requests": server.requests_served,
+        "metrics": server.registry.snapshot(),
+        "trace": trace["result"],
+        "slow_queries": slow_log.entries(),
+    }, indent=2))
+    fw.stop()
+    return 0
+
+
 def _cmd_topology(args) -> int:
     query = args.query
     loc = (NodeLocation.from_index(int(query)) if query.isdigit()
@@ -213,6 +269,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "ingest": _cmd_ingest,
     "analyze": _cmd_analyze,
+    "metrics": _cmd_metrics,
     "topology": _cmd_topology,
 }
 

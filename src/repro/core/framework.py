@@ -21,10 +21,12 @@ Typical use::
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cassdb import Cluster, Consistency, Session
 from repro.genlog.jobs import ApplicationRun
 from repro.ingest import IngestStats, StreamingIngestor, batch_ingest
@@ -45,6 +47,22 @@ from .frontend import (
 from .model import LogDataModel
 
 __all__ = ["LogAnalyticsFramework"]
+
+
+def _traced(fn):
+    """Wrap a facade method in a ``framework.<name>`` span.
+
+    A no-op unless a trace is active (the server starts one per
+    request), so direct library use pays one ContextVar read.
+    """
+    span_name = f"framework.{fn.__name__}"
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        with obs.get_tracer().span(span_name):
+            return fn(self, *args, **kwargs)
+
+    return wrapper
 
 
 class LogAnalyticsFramework:
@@ -127,6 +145,7 @@ class LogAnalyticsFramework:
         self._check_ready()
         return self.model.write_applications(runs)
 
+    @_traced
     def ingest_batch(self, paths: Sequence[str],
                      coalesce_seconds: float | None = 1.0) -> IngestStats:
         """Batch ETL from raw log files through the engine (§III-D)."""
@@ -145,6 +164,7 @@ class LogAnalyticsFramework:
             batch_interval=batch_interval, group_id=group_id,
         )
 
+    @_traced
     def refresh_synopsis(self) -> int:
         self._check_ready()
         return self.model.refresh_synopsis(self.sc)
@@ -163,10 +183,12 @@ class LogAnalyticsFramework:
             app=app, user=user,
         )
 
+    @_traced
     def events(self, context: Context) -> list[dict[str, Any]]:
         self._check_ready()
         return context.events(self.model)
 
+    @_traced
     def runs(self, context: Context) -> list[dict[str, Any]]:
         self._check_ready()
         return context.runs(self.model)
@@ -181,25 +203,30 @@ class LogAnalyticsFramework:
 
     # -- analytics ------------------------------------------------------------------
 
+    @_traced
     def heatmap(self, context: Context, granularity: str = "node"
                 ) -> dict[str, int]:
         self._check_ready()
         return analytics.heatmap(self.model, context, granularity)
 
+    @_traced
     def distribution(self, context: Context, granularity: str = "cabinet"
                      ) -> list[tuple[str, int]]:
         self._check_ready()
         return analytics.distribution_by(self.model, context, granularity)
 
+    @_traced
     def distribution_by_application(self, context: Context
                                     ) -> list[tuple[str, int]]:
         self._check_ready()
         return analytics.distribution_by_application(self.model, context)
 
+    @_traced
     def time_histogram(self, context: Context, num_bins: int = 48):
         self._check_ready()
         return analytics.time_histogram(self.model, context, num_bins)
 
+    @_traced
     def hotspots(self, context: Context, granularity: str = "node",
                  z_threshold: float = 4.0) -> list[analytics.Hotspot]:
         """Components with abnormally high occurrence counts (Fig 5)."""
@@ -212,6 +239,7 @@ class LogAnalyticsFramework:
         }[granularity]
         return analytics.detect_hotspots(counts, num, z_threshold)
 
+    @_traced
     def transfer_entropy(self, context: Context, source_type: str,
                          target_type: str, *, bin_seconds: float = 60.0,
                          n_shuffles: int = 200
@@ -223,6 +251,7 @@ class LogAnalyticsFramework:
             bin_seconds=bin_seconds, n_shuffles=n_shuffles,
         )
 
+    @_traced
     def cross_correlation(self, context: Context, type_a: str, type_b: str,
                           *, bin_seconds: float = 60.0, max_lag: int = 10
                           ) -> np.ndarray:
@@ -235,6 +264,7 @@ class LogAnalyticsFramework:
             context.t0, context.t1, bin_seconds)
         return correlation.cross_correlation(sa, sb, max_lag)
 
+    @_traced
     def keywords(self, context: Context, n: int = 10,
                  use_tf_idf: bool = True) -> list[tuple[str, float]]:
         """Fig 7 (bottom): word bubbles for the context's raw messages."""
@@ -243,6 +273,7 @@ class LogAnalyticsFramework:
             self.sc, self.raw_messages(context), n, use_tf_idf
         )
 
+    @_traced
     def association_rules(self, context: Context, *,
                           window_seconds: float = 120.0,
                           min_support: float = 0.001,
@@ -259,6 +290,7 @@ class LogAnalyticsFramework:
 
     # -- §V extensions: prediction, composites, profiles -------------------------------
 
+    @_traced
     def mine_precursors(self, context: Context, **kw
                         ) -> list[prediction.PrecursorRule]:
         """Mine (non-fatal → fatal) precursor rules from history (§IV/§V)."""
@@ -281,6 +313,7 @@ class LogAnalyticsFramework:
             predictor, self.events(evaluation)
         )
 
+    @_traced
     def materialize_composites(
         self, context: Context,
         definitions: Sequence[CompositeEventDef],
@@ -291,6 +324,7 @@ class LogAnalyticsFramework:
         return materialize_composites(self.model, context, definitions,
                                       registry=self.registry)
 
+    @_traced
     def application_profiles(self, context: Context
                              ) -> dict[str, profiles.ApplicationProfile]:
         """Per-application event-exposure profiles (§V future work 2)."""
@@ -351,6 +385,7 @@ class LogAnalyticsFramework:
 
     # -- raw CQL escape hatch -------------------------------------------------------------
 
+    @_traced
     def cql(self, statement: str, params: Sequence[Any] = ()
             ) -> list[dict[str, Any]]:
         """Run one CQL statement against the backend (power users)."""

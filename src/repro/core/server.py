@@ -29,6 +29,8 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
+
 from .context import Context
 from .framework import LogAnalyticsFramework
 
@@ -36,6 +38,7 @@ __all__ = ["AnalyticsServer", "SIMPLE_OPS", "COMPLEX_OPS"]
 
 SIMPLE_OPS = frozenset({
     "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
+    "metrics", "trace", "slow_queries",
 })
 COMPLEX_OPS = frozenset({
     "heatmap", "heatmap_grid", "distribution", "distribution_by_application",
@@ -65,12 +68,51 @@ def _jsonable(value: Any) -> Any:
 class AnalyticsServer:
     """JSON-request facade over a :class:`LogAnalyticsFramework`."""
 
-    def __init__(self, framework: LogAnalyticsFramework):
+    def __init__(self, framework: LogAnalyticsFramework, *,
+                 registry: obs.MetricsRegistry | None = None,
+                 tracer: obs.Tracer | None = None,
+                 slow_log: obs.SlowQueryLog | None = None,
+                 latency_window: int = 512):
         self.framework = framework
+        self.registry = registry if registry is not None else obs.get_registry()
+        self.tracer = tracer if tracer is not None else obs.get_tracer()
+        self.slow_log = slow_log if slow_log is not None else obs.get_slow_log()
         self.requests_served = 0
         self.errors = 0
-        # op -> list of latencies (ms); the F3 bench reads this.
-        self.latencies_ms: dict[str, list[float]] = {}
+        self._latency_window = latency_window
+        # (op, outcome) -> bounded Histogram; every request is timed,
+        # failures included, tagged by outcome.  Private to this server
+        # — the registry series is shared across servers, latencies_ms
+        # is not.
+        self._op_hists: dict[tuple[str, str], obs.Histogram] = {}
+        self._registry_hists: dict[tuple[str, str], obs.Histogram] = {}
+        self._m_requests = self.registry.counter("server.requests")
+        self._m_errors = self.registry.counter("server.errors")
+
+    @property
+    def latencies_ms(self) -> dict[str, list[float]]:
+        """Per-op recent latencies (ms), bounded by the histogram window.
+
+        The F3 bench reads this; it is a *window*, not the full history
+        — the unbounded per-request list it replaces grew forever.
+        """
+        out: dict[str, list[float]] = {}
+        for (op, _outcome), hist in sorted(self._op_hists.items()):
+            out.setdefault(op, []).extend(hist.recent())
+        return out
+
+    def _observe(self, op: str, outcome: str, elapsed_ms: float) -> None:
+        key = (op, outcome)
+        hist = self._op_hists.get(key)
+        if hist is None:
+            hist = self._op_hists[key] = obs.Histogram(
+                window=self._latency_window)
+            self._registry_hists[key] = self.registry.histogram(
+                "server.latency_ms", window=self._latency_window,
+                op=op, outcome=outcome,
+            )
+        hist.observe(elapsed_ms)
+        self._registry_hists[key].observe(elapsed_ms)
 
     # -- request entry points ------------------------------------------------
 
@@ -78,27 +120,37 @@ class AnalyticsServer:
         """Serve one JSON request asynchronously."""
         start = time.perf_counter()
         op = request.get("op")
-        try:
-            if not isinstance(op, str) or (
-                op not in SIMPLE_OPS and op not in COMPLEX_OPS
-            ):
-                raise ValueError(f"unknown op: {op!r}")
-            handler = getattr(self, f"_op_{op}")
-            if op in SIMPLE_OPS:
-                result = handler(request)
-            else:
-                # Complex analytics leave the event loop free (Tornado's
-                # non-blocking I/O property).
-                result = await asyncio.to_thread(handler, request)
-            response = {"ok": True, "result": _jsonable(result)}
-        except Exception as exc:  # noqa: BLE001 - server boundary
-            self.errors += 1
-            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        op_name = op if isinstance(op, str) else "<invalid>"
+        outcome = "ok"
+        with self.tracer.root_span("server.request", op=op_name) as span:
+            try:
+                if not isinstance(op, str) or (
+                    op not in SIMPLE_OPS and op not in COMPLEX_OPS
+                ):
+                    raise ValueError(f"unknown op: {op!r}")
+                handler = getattr(self, f"_op_{op}")
+                if op in SIMPLE_OPS:
+                    result = handler(request)
+                else:
+                    # Complex analytics leave the event loop free
+                    # (Tornado's non-blocking I/O property); to_thread
+                    # copies the context, so the span tree follows.
+                    result = await asyncio.to_thread(handler, request)
+                response = {"ok": True, "result": _jsonable(result)}
+            except Exception as exc:  # noqa: BLE001 - server boundary
+                outcome = "error"
+                self.errors += 1
+                self._m_errors.inc()
+                response = {"ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
+                span.mark_error(response["error"])
+            span.set(outcome=outcome)
         elapsed = (time.perf_counter() - start) * 1000.0
         response["elapsed_ms"] = elapsed
         self.requests_served += 1
-        if isinstance(op, str):
-            self.latencies_ms.setdefault(op, []).append(elapsed)
+        self._m_requests.inc()
+        self._observe(op_name, outcome, elapsed)
+        self.slow_log.record(op_name, elapsed, outcome=outcome)
         return response
 
     def handle_sync(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -154,6 +206,30 @@ class AnalyticsServer:
         if not statement:
             raise ValueError("cql requires 'statement'")
         return self.framework.cql(statement, request.get("params", ()))
+
+    # -- observability ops ----------------------------------------------------
+
+    def _op_metrics(self, request):
+        """Prometheus-style snapshot of every metric series."""
+        prefix = request.get("prefix")
+        snapshot = self.registry.snapshot()
+        if prefix:
+            snapshot = {k: v for k, v in snapshot.items()
+                        if k.startswith(prefix)}
+        return snapshot
+
+    def _op_trace(self, request):
+        """The most recently *completed* trace (this request's own trace
+        finishes after the handler returns, so it is never included)."""
+        if request.get("all"):
+            return self.tracer.traces()
+        trace = self.tracer.last_trace()
+        if trace is None:
+            raise LookupError("no completed traces yet")
+        return trace
+
+    def _op_slow_queries(self, request):
+        return self.slow_log.entries()
 
     # -- complex ops (big data processing unit) -------------------------------------
 

@@ -21,8 +21,11 @@ like for like.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro import obs
 
 from .parsers import ParsedEvent, default_parser
 from .sink import EventSink
@@ -46,6 +49,17 @@ class IngestStats:
     def coalesced_away(self) -> int:
         """Events merged into earlier occurrences by coalescing."""
         return self.parsed - self.written
+
+
+def _record_ingest(stats: "IngestStats", mode: str, elapsed_s: float) -> None:
+    """Fold one ETL run into the process-wide ingest metrics."""
+    registry = obs.get_registry()
+    registry.counter("ingest.lines", mode=mode).inc(stats.lines)
+    registry.counter("ingest.records_written", mode=mode).inc(stats.written)
+    registry.counter("ingest.parse_failures", mode=mode).inc(stats.unparsed)
+    if elapsed_s > 0:
+        registry.gauge("ingest.records_per_sec", mode=mode).set(
+            stats.lines / elapsed_s)
 
 
 def coalesce_events(events: Iterable[ParsedEvent],
@@ -81,21 +95,24 @@ def coalesce_events(events: Iterable[ParsedEvent],
 def serial_ingest(paths: Sequence[str], sink: EventSink,
                   coalesce_seconds: float | None = None) -> IngestStats:
     """Single-threaded baseline ETL (no engine involved)."""
+    start = time.perf_counter()
     parser = default_parser()
     stats = IngestStats()
     events: list[ParsedEvent] = []
-    for path in paths:
-        with open(path, encoding="utf-8") as fh:
-            for line in fh:
-                stats.lines += 1
-                event = parser.parse_line(line.rstrip("\n"))
-                if event is not None:
-                    events.append(event)
-    stats.parsed = parser.parsed
-    stats.unparsed = parser.unparsed
-    if coalesce_seconds:
-        events = coalesce_events(events, coalesce_seconds)
-    stats.written = sink.write_events(events)
+    with obs.get_tracer().span("ingest.serial", files=len(paths)):
+        for path in paths:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    stats.lines += 1
+                    event = parser.parse_line(line.rstrip("\n"))
+                    if event is not None:
+                        events.append(event)
+        stats.parsed = parser.parsed
+        stats.unparsed = parser.unparsed
+        if coalesce_seconds:
+            events = coalesce_events(events, coalesce_seconds)
+        stats.written = sink.write_events(events)
+    _record_ingest(stats, "serial", time.perf_counter() - start)
     return stats
 
 
@@ -103,6 +120,19 @@ def batch_ingest(sc: "SparkletContext", paths: Sequence[str], sink: EventSink,
                  coalesce_seconds: float | None = None,
                  min_partitions: int | None = None) -> IngestStats:
     """Engine-parallel ETL over one or more raw log files."""
+    start = time.perf_counter()
+    span = obs.get_tracer().span("ingest.batch", files=len(paths))
+    with span:
+        stats = _batch_ingest_traced(sc, paths, sink, coalesce_seconds,
+                                     min_partitions)
+        span.set(lines=stats.lines, written=stats.written)
+    _record_ingest(stats, "batch", time.perf_counter() - start)
+    return stats
+
+
+def _batch_ingest_traced(sc: "SparkletContext", paths: Sequence[str],
+                         sink: EventSink, coalesce_seconds: float | None,
+                         min_partitions: int | None) -> IngestStats:
     parsed_acc = sc.accumulator(0)
     unparsed_acc = sc.accumulator(0)
     lines_acc = sc.accumulator(0)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from repro import obs
 from repro.bus import ConsumerGroup, MessageBus, Producer
 
 from .parsers import LineParser, ParsedEvent, default_parser
@@ -115,7 +116,10 @@ class StreamingIngestor:
         events = sorted(rdd.collect(), key=lambda e: (e.ts, e.type,
                                                       e.component))
         if events:
-            self.stats.written += self.sink.write_events(events)
+            written = self.sink.write_events(events)
+            self.stats.written += written
+            obs.get_registry().counter(
+                "ingest.records_written", mode="stream").inc(written)
 
     def process_available(self, max_records: int = 100_000) -> int:
         """Poll, run every complete batch, commit.  Returns events polled.
@@ -124,18 +128,25 @@ class StreamingIngestor:
         seen, so all batches strictly before it are finalized; events in
         the still-open batch remain buffered for the next call.
         """
-        records = self._consumer.poll(max_records)
-        if not records:
-            return 0
-        latest = 0.0
-        for record in records:
-            self._input.push(record.value, record.timestamp)
-            latest = max(latest, record.timestamp)
-        self.stats.polled += len(records)
-        before = self.ssc.batches_run
-        self.ssc.advance_to(latest)
-        self.stats.batches += self.ssc.batches_run - before
-        self._consumer.commit()
+        with obs.get_tracer().span("ingest.stream.poll") as span:
+            records = self._consumer.poll(max_records)
+            if not records:
+                return 0
+            latest = 0.0
+            for record in records:
+                self._input.push(record.value, record.timestamp)
+                latest = max(latest, record.timestamp)
+            self.stats.polled += len(records)
+            before = self.ssc.batches_run
+            self.ssc.advance_to(latest)
+            batches = self.ssc.batches_run - before
+            self.stats.batches += batches
+            self._consumer.commit()
+            span.set(records=len(records), batches=batches)
+        registry = obs.get_registry()
+        registry.counter("ingest.stream.polled").inc(len(records))
+        registry.counter("ingest.stream.batches").inc(batches)
+        registry.gauge("ingest.stream.lag").set(self._group.lag())
         return len(records)
 
     def flush(self) -> None:

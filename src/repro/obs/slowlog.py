@@ -1,0 +1,79 @@
+"""Bounded slow-query log: the worst requests, kept, the rest forgotten.
+
+Every served request is offered to the log with its latency; only those
+at or above *threshold_ms* are retained, in a ring buffer of
+*capacity* entries — memory is O(capacity) no matter how much traffic
+flows.  Entries are plain dicts so the server's ``slow_queries`` op and
+the CLI can emit them as JSON unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Ring buffer of requests slower than a configurable threshold."""
+
+    def __init__(self, threshold_ms: float = 250.0, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._seen = 0
+        self._recorded = 0
+
+    def record(self, op: str, elapsed_ms: float, *,
+               outcome: str = "ok",
+               detail: dict[str, Any] | None = None) -> bool:
+        """Offer one request; returns True when it was slow enough to keep."""
+        with self._lock:
+            self._seen += 1
+            if elapsed_ms < self.threshold_ms:
+                return False
+            self._recorded += 1
+            entry: dict[str, Any] = {
+                "seq": next(self._seq),
+                "wall_time": time.time(),
+                "op": op,
+                "elapsed_ms": elapsed_ms,
+                "outcome": outcome,
+            }
+            if detail:
+                entry["detail"] = detail
+            self._entries.append(entry)
+            return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Retained slow queries, oldest first (plain dicts)."""
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    @property
+    def seen(self) -> int:
+        """Requests offered (slow or not) since creation/clear."""
+        return self._seen
+
+    @property
+    def recorded(self) -> int:
+        """Requests that crossed the threshold (may exceed len: evicted
+        entries still count)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._seen = 0
+            self._recorded = 0

@@ -1,0 +1,218 @@
+"""Hierarchical tracing with ``contextvars`` propagation.
+
+One server request becomes one *trace*: a tree of timed spans rooted at
+``server.request`` and descending through the framework facade, the
+sparklet job/stage/task machinery, the cassdb coordinator and finally
+the per-:class:`~repro.cassdb.node.StorageNode` operations — the Fig-3
+layers, observed.
+
+Propagation rides :mod:`contextvars`, so span parentage follows control
+flow for free across ``await`` boundaries and ``asyncio.to_thread``
+(both copy the context).  The sparklet :class:`~repro.sparklet.executor.
+WorkerPool` copies the submitting context explicitly, extending the
+same trace into its long-lived task threads.
+
+Cost discipline:
+
+* with no active trace, :meth:`Tracer.span` is a no-op returning a
+  shared :data:`NULL_SPAN` — bulk ingest paths pay one ContextVar read
+  per call, nothing more;
+* every trace is bounded (*max_spans_per_trace*, *max_children* per
+  span, *max_attrs* per span); overflow increments drop counters
+  instead of allocating;
+* completed traces land in a bounded ring (*max_traces*), exported as
+  plain dicts by :meth:`Tracer.last_trace` / :meth:`Tracer.traces` —
+  the payload of the server's ``trace`` op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["NULL_SPAN", "NullSpan", "Span", "Tracer"]
+
+import contextvars
+
+
+class NullSpan:
+    """Shared do-nothing span used when tracing is off or over budget."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+    def mark_error(self, message: str) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = ("tracer", "name", "attrs", "children", "status", "error",
+                 "start", "end", "dropped_children", "dropped_attrs",
+                 "_root", "_token", "_span_budget")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.status = "ok"
+        self.error: str | None = None
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.dropped_children = 0
+        self.dropped_attrs = 0
+        self._root: Span = self  # overwritten for child spans
+        self._token: contextvars.Token | None = None
+        self._span_budget = 1  # spans in this trace; meaningful on roots
+
+    # -- context-manager protocol --------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._token = self.tracer._current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        if self._token is not None:
+            self.tracer._current.reset(self._token)
+            self._token = None
+        if self._root is self:
+            self.tracer._finish_trace(self)
+
+    # -- mutation -------------------------------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes mid-span (row counts, outcomes, …)."""
+        with self.tracer._lock:
+            budget = self.tracer.max_attrs - len(self.attrs)
+            for i, (key, value) in enumerate(attrs.items()):
+                if i < budget:
+                    self.attrs[key] = value
+                else:
+                    self.dropped_attrs += 1
+
+    def mark_error(self, message: str) -> None:
+        """Flag the span failed when the exception is handled in-span
+        (a server boundary catches before ``__exit__`` can see it)."""
+        self.status = "error"
+        self.error = message
+
+    # -- export ---------------------------------------------------------
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return (end - self.start) * 1000.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        if self.dropped_children:
+            out["dropped_children"] = self.dropped_children
+        if self.dropped_attrs:
+            out["dropped_attrs"] = self.dropped_attrs
+        return out
+
+    def depth(self) -> int:
+        """Nesting levels of the subtree rooted here (leaf = 1)."""
+        return 1 + max((c.depth() for c in self.children), default=0)
+
+
+class Tracer:
+    """Produces spans, tracks the current one, rings completed traces."""
+
+    def __init__(self, *, enabled: bool = True, max_traces: int = 32,
+                 max_children: int = 128, max_spans_per_trace: int = 2000,
+                 max_attrs: int = 32):
+        self.enabled = enabled
+        self.max_children = max_children
+        self.max_spans_per_trace = max_spans_per_trace
+        self.max_attrs = max_attrs
+        self._lock = threading.Lock()
+        self._current: contextvars.ContextVar[Span | None] = (
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+        )
+        self._traces: deque[dict[str, Any]] = deque(maxlen=max_traces)
+
+    # -- span creation ---------------------------------------------------
+
+    def root_span(self, name: str, **attrs: Any) -> Span | NullSpan:
+        """Start a new trace (ignores any currently active span)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, dict(list(attrs.items())[:self.max_attrs]))
+
+    def span(self, name: str, **attrs: Any) -> Span | NullSpan:
+        """A child of the active span; a no-op when no trace is active.
+
+        The no-trace fast path is what keeps bulk paths (per-row writes
+        during ingest) unobserved-and-cheap instead of traced-and-slow.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._current.get()
+        if parent is None:
+            return NULL_SPAN
+        root = parent._root
+        with self._lock:
+            if (root._span_budget >= self.max_spans_per_trace
+                    or len(parent.children) >= self.max_children):
+                parent.dropped_children += 1
+                return NULL_SPAN
+            root._span_budget += 1
+            child = Span(self, name, dict(list(attrs.items())[:self.max_attrs]))
+            child._root = root
+            parent.children.append(child)
+        return child
+
+    def current_span(self) -> Span | None:
+        return self._current.get()
+
+    # -- completed traces -------------------------------------------------
+
+    def _finish_trace(self, root: Span) -> None:
+        exported = root.to_dict()
+        exported["spans"] = root._span_budget
+        with self._lock:
+            self._traces.append(exported)
+
+    def last_trace(self) -> dict[str, Any] | None:
+        """The most recently completed trace (a plain span-tree dict)."""
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def traces(self) -> list[dict[str, Any]]:
+        """All retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._traces.clear()

@@ -22,14 +22,21 @@ read cost for wall-clock experiments.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import random
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro import obs
+
 __all__ = ["TaskMetrics", "TaskContext", "WorkerPool"]
+
+_M_TASKS = obs.get_registry().counter("sparklet.tasks")
+_M_TASK_DURATION = obs.get_registry().histogram("sparklet.task_duration_ms")
 
 
 @dataclass
@@ -49,6 +56,19 @@ class TaskContext:
     worker: str
     partition: int
     metrics: TaskMetrics = field(default_factory=TaskMetrics)
+
+
+def _run_task(fn: Callable[["TaskContext"], Any], tc: "TaskContext") -> Any:
+    """Execute one task under a span, timing it into the obs histogram."""
+    start = time.perf_counter()
+    with obs.get_tracer().span(
+        "sparklet.task", worker=tc.worker, partition=tc.partition
+    ) as span:
+        result = fn(tc)
+        span.set(records_read=tc.metrics.records_read)
+    _M_TASKS.inc()
+    _M_TASK_DURATION.observe((time.perf_counter() - start) * 1000.0)
+    return result
 
 
 class WorkerPool:
@@ -95,13 +115,21 @@ class WorkerPool:
 
         Returns results in task order plus each task's context (for
         metric merging by the scheduler).
+
+        Each task runs inside a copy of the *submitting* thread's
+        ``contextvars`` context, so the obs trace active at submit time
+        (the stage span) keeps propagating into the long-lived pool
+        threads — the server → job → stage → task span chain survives
+        the thread hop.
         """
         contexts = [
             TaskContext(worker=self.assign(pref), partition=idx)
             for _fn, pref, idx in tasks
         ]
         futures = [
-            self._pool.submit(fn, tc)
+            self._pool.submit(
+                contextvars.copy_context().run, _run_task, fn, tc
+            )
             for (fn, _pref, _idx), tc in zip(tasks, contexts)
         ]
         results = [f.result() for f in futures]

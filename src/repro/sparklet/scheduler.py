@@ -24,6 +24,8 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
+
 from .executor import TaskContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,12 +75,17 @@ class DAGScheduler:
     def run_job(self, rdd: "RDD", indices: Sequence[int] | None = None
                 ) -> list[list]:
         """Compute the given partitions of *rdd* (all by default)."""
-        with self._lock:
-            self._prepare_shuffles(rdd)
-            self.ctx.metrics.jobs += 1
-            if indices is None:
-                indices = range(rdd.num_partitions)
-            return self._run_stage(rdd, list(indices))
+        with obs.get_tracer().span(
+            "sparklet.job", rdd=type(rdd).__name__,
+            partitions=rdd.num_partitions,
+        ):
+            with self._lock:
+                self._prepare_shuffles(rdd)
+                self.ctx.metrics.jobs += 1
+                obs.get_registry().counter("sparklet.jobs").inc()
+                if indices is None:
+                    indices = range(rdd.num_partitions)
+                return self._run_stage(rdd, list(indices))
 
     def fetch_shuffle(self, shuffle_id: int, reduce_index: int) -> list[list]:
         """All map-output blocks destined for one reduce partition."""
@@ -152,7 +159,9 @@ class DAGScheduler:
             (make_task(i), parent.preferred_worker(i), i)
             for i in range(parent.num_partitions)
         ]
-        results, contexts = self.ctx.pool.run_tasks(tasks)
+        with obs.get_tracer().span("sparklet.stage", kind="shuffle_map",
+                                   tasks=len(tasks)):
+            results, contexts = self.ctx.pool.run_tasks(tasks)
         self._shuffle_outputs[shuffled.shuffle_id] = results
         self._record_stage(tasks, contexts)
 
@@ -164,13 +173,20 @@ class DAGScheduler:
             return task
 
         tasks = [(make_task(i), rdd.preferred_worker(i), i) for i in indices]
-        results, contexts = self.ctx.pool.run_tasks(tasks)
+        with obs.get_tracer().span("sparklet.stage", kind="result",
+                                   tasks=len(tasks)):
+            results, contexts = self.ctx.pool.run_tasks(tasks)
         self._record_stage(tasks, contexts)
         return results
 
     # -- metrics ----------------------------------------------------------------
 
     def _record_stage(self, tasks, contexts: list[TaskContext]) -> None:
+        registry = obs.get_registry()
+        registry.counter("sparklet.stages").inc()
+        registry.counter("sparklet.partitions_processed").inc(len(tasks))
+        registry.counter("sparklet.records_read").inc(
+            sum(tc.metrics.records_read for tc in contexts))
         m = self.ctx.metrics
         m.stages += 1
         m.tasks += len(tasks)

@@ -1,0 +1,63 @@
+"""Unit tests for the slow-query ring buffer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestSlowQueryLog:
+    def test_threshold(self):
+        log = SlowQueryLog(threshold_ms=100.0, capacity=10)
+        assert not log.record("ping", 5.0)
+        assert log.record("heatmap", 150.0)
+        entries = log.entries()
+        assert len(entries) == 1
+        assert entries[0]["op"] == "heatmap"
+        assert entries[0]["elapsed_ms"] == 150.0
+        assert log.seen == 2 and log.recorded == 1
+
+    def test_ring_eviction(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(10):
+            log.record(f"op{i}", float(i))
+        entries = log.entries()
+        assert len(entries) == len(log) == 3
+        assert [e["op"] for e in entries] == ["op7", "op8", "op9"]
+        assert log.recorded == 10  # evicted entries still counted
+
+    def test_outcome_and_detail(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("events", 12.0, outcome="error", detail={"limit": 5})
+        (entry,) = log.entries()
+        assert entry["outcome"] == "error"
+        assert entry["detail"] == {"limit": 5}
+        json.dumps(entry)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("x", 1.0)
+        log.clear()
+        assert log.entries() == [] and log.seen == 0
+
+    def test_thread_safety(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=16)
+        n_threads, n_records = 8, 2_000
+
+        def work():
+            for i in range(n_records):
+                log.record("op", float(i))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.recorded == n_threads * n_records
+        assert len(log) == 16

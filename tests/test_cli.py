@@ -110,6 +110,25 @@ class TestAnalyze:
         assert {"hour", "type", "occurrences"} <= set(rows[0])
 
 
+class TestMetrics:
+    def test_metrics_emits_telemetry_json(self, log_dir, capsys):
+        rc = main([
+            "metrics", "--rows", "1", "--cols", "1",
+            "--op", "heatmap", "--repeat", "2", "--slow-ms", "0",
+            str(log_dir / "*.log"),
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["op"] == "heatmap"
+        # registry snapshot reaches down to the storage nodes
+        assert payload["metrics"]["cassdb.node.reads"]["value"] > 0
+        assert payload["metrics"]["server.requests"]["value"] >= 2
+        # span tree of the last heatmap request, threshold-0 slow log
+        assert payload["trace"]["attrs"]["op"] == "heatmap"
+        assert payload["trace"]["children"]
+        assert any(e["op"] == "heatmap" for e in payload["slow_queries"])
+
+
 class TestTopology:
     def test_cname_query(self, capsys):
         rc = main(["topology", "c3-17c1s5n2"])
