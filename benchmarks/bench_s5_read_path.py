@@ -1,0 +1,229 @@
+"""S5 — end-to-end hot read path: the three caches plus bounds pruning.
+
+The frontend's interactive maps (paper §III-E) hammer the server with
+the same point-in-time SELECTs while the user pans and zooms.  PR 2
+optimised that path at every layer; this bench measures each layer and
+the composed effect:
+
+* **warm vs cold server reads** — with the plan cache and result cache
+  primed, a repeated query mix must run at least 2x faster than the
+  same mix with both caches cleared before every pass;
+* **bounds-pruned scans** — a windowed ``ts >= x LIMIT n`` SELECT must
+  prune rows (``cassdb.store.rows_pruned`` delta > 0) and beat the
+  full-partition scan it replaces;
+* **IN-list scatter-gather** — multi-partition reads fan out across the
+  coordinator pool; reported for visibility (pure-Python reads are
+  GIL-bound, so wall-clock parity is acceptable, ordering is not).
+
+Runs standalone for the CI smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_s5_read_path.py --quick \
+        --json BENCH_s5_read_path.json
+
+and as pytest-collected tests against the shared bench fixtures.
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import AnalyticsServer, LogAnalyticsFramework
+from repro.genlog import LogGenerator
+from repro.titan import TitanTopology
+
+from conftest import report
+
+
+def _best(fn, rounds=3):
+    """Best-of-N wall time in seconds (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _query_mix(hours):
+    """The repeated interactive mix: per-hour context queries."""
+    mix = []
+    for hour in range(hours):
+        mix.append(("SELECT * FROM event_by_time WHERE hour = ? AND"
+                    " type = 'MCE'", (hour,)))
+        mix.append(("SELECT * FROM event_by_time WHERE hour = ? AND"
+                    " type = 'SEDC' LIMIT 50", (hour,)))
+    return mix
+
+
+def run_warm_vs_cold(fw, server, hours, rounds=3):
+    mix = _query_mix(hours)
+
+    requests = [{"op": "cql", "statement": stmt, "params": list(params)}
+                for stmt, params in mix]
+
+    def one_pass():
+        # One event loop per pass (long-poll batch client), so the
+        # loop-startup cost does not drown the per-query difference.
+        for resp in asyncio.run(server.handle_many(requests)):
+            assert resp["ok"], resp
+
+    def cold():
+        # Every measured pass starts from empty caches: all misses.
+        server.result_cache.clear()
+        fw.session.clear_plan_cache()
+        one_pass()
+
+    def warm():
+        one_pass()
+
+    t_cold = _best(cold, rounds)
+    warm()  # prime both caches
+    t_warm = _best(warm, rounds)
+    return {"cold_s": t_cold, "warm_s": t_warm,
+            "speedup": t_cold / t_warm if t_warm else float("inf")}
+
+
+def run_bounds_pruning(fw, hours, rounds=3):
+    pruned = obs.get_registry().counter("cassdb.store.rows_pruned")
+
+    def full():
+        for hour in range(hours):
+            fw.session.execute(
+                "SELECT * FROM event_by_time WHERE hour = ? AND"
+                " type = 'MCE'", (hour,))
+
+    def bounded():
+        for hour in range(hours):
+            fw.session.execute(
+                "SELECT * FROM event_by_time WHERE hour = ? AND"
+                " type = 'MCE' AND ts >= ? LIMIT 20",
+                (hour, (hour + 0.9) * 3600.0))
+
+    t_full = _best(full, rounds)
+    p0 = pruned.value
+    t_bounded = _best(bounded, rounds)
+    return {"full_s": t_full, "bounded_s": t_bounded,
+            "rows_pruned": pruned.value - p0,
+            "speedup": t_full / t_bounded if t_bounded else float("inf")}
+
+
+def run_scatter_gather(fw, hours, rounds=3):
+    keys = [(h, "MCE") for h in range(hours)]
+
+    def scattered():
+        return fw.cluster.select_partitions("event_by_time", keys, limit=100)
+
+    def sequential():
+        return [fw.cluster.select_partition("event_by_time", k, limit=100)
+                for k in keys]
+
+    assert scattered() == sequential()  # same rows, same order
+    return {"scatter_s": _best(scattered, rounds),
+            "sequential_s": _best(sequential, rounds),
+            "partitions": len(keys)}
+
+
+def run_all(fw, server, hours, rounds=3):
+    return {
+        "warm_vs_cold": run_warm_vs_cold(fw, server, hours, rounds),
+        "bounds_pruning": run_bounds_pruning(fw, hours, rounds),
+        "scatter_gather": run_scatter_gather(fw, hours, rounds),
+    }
+
+
+def _report_all(results):
+    wc, bp, sg = (results["warm_vs_cold"], results["bounds_pruning"],
+                  results["scatter_gather"])
+    report("S5: hot read path", [
+        ("experiment", "baseline", "optimised", "speedup / note"),
+        ("server query mix", f"{wc['cold_s']:.4f}s cold",
+         f"{wc['warm_s']:.4f}s warm", f"{wc['speedup']:.1f}x"),
+        ("partition scan", f"{bp['full_s']:.4f}s full",
+         f"{bp['bounded_s']:.4f}s bounded",
+         f"{bp['speedup']:.1f}x, {bp['rows_pruned']} rows pruned"),
+        ("IN-list fan-out", f"{sg['sequential_s']:.4f}s sequential",
+         f"{sg['scatter_s']:.4f}s scatter",
+         f"{sg['partitions']} partitions"),
+    ])
+
+
+def _build(hours, rate, cols=1):
+    """A framework dense enough that per-query work dominates overhead."""
+    topo = TitanTopology(rows=1, cols=cols)
+    events = LogGenerator(topo, seed=2017, rate_multiplier=rate,
+                          storms_per_day=4).generate(hours)
+    fw = LogAnalyticsFramework(topo, db_nodes=4, replication_factor=2).setup()
+    fw.ingest_events(events)
+    server = AnalyticsServer(fw, result_cache_size=512,
+                             result_cache_ttl=300.0)
+    return fw, server, events
+
+
+# -- pytest entry points -----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def dense():
+    fw, server, _events = _build(hours=3, rate=400)
+    yield fw, server
+    fw.stop()
+
+
+class TestHotReadPath:
+    def test_warm_beats_cold_by_2x(self, dense):
+        fw, server = dense
+        r = run_warm_vs_cold(fw, server, hours=3)
+        assert r["speedup"] >= 2.0, r
+
+    def test_bounded_scan_prunes_and_wins(self, dense):
+        fw, _server = dense
+        r = run_bounds_pruning(fw, hours=3)
+        assert r["rows_pruned"] > 0, r
+        assert r["bounded_s"] < r["full_s"], r
+
+    def test_scatter_preserves_order(self, dense, benchmark):
+        fw, server = dense
+        r = benchmark.pedantic(lambda: run_scatter_gather(fw, hours=3),
+                               rounds=1, iterations=1)
+        _report_all(run_all(fw, server, hours=3))
+        assert r["partitions"] == 3
+
+
+# -- standalone entry point (CI bench-smoke job) -----------------------------
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small topology / few hours (CI smoke)")
+    ap.add_argument("--json", dest="json_path",
+                    help="write timing results to this JSON file")
+    args = ap.parse_args(argv)
+
+    hours = 3 if args.quick else 8
+    fw, server, events = _build(hours=hours, rate=400,
+                                cols=1 if args.quick else 2)
+    try:
+        results = run_all(fw, server, hours, rounds=2 if args.quick else 3)
+    finally:
+        fw.stop()
+    _report_all(results)
+    payload = {"bench": "s5_read_path", "quick": args.quick,
+               "events": len(events), "hours": hours, "results": results}
+    if args.json_path:
+        with open(args.json_path, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.json_path}")
+
+    ok = (results["warm_vs_cold"]["speedup"] >= 2.0
+          and results["bounds_pruning"]["rows_pruned"] > 0)
+    if not ok:
+        print("FAIL: acceptance thresholds not met", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

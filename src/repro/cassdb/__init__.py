@@ -35,7 +35,7 @@ from .errors import (
 )
 from .gossip import GossipRunner, HeartbeatHistory, PhiAccrualDetector
 from .hashring import HashRing, token_for_key
-from .query import Session, parse_statement
+from .query import Session, normalize_cql, parse_statement
 from .row import Cell, ClusteringBound, Row, merge_rows
 from .schema import Keyspace, TableSchema
 
@@ -57,6 +57,7 @@ __all__ = [
     "Row",
     "SchemaError",
     "Session",
+    "normalize_cql",
     "TableSchema",
     "UnavailableError",
     "WriteTimeoutError",

@@ -21,9 +21,11 @@ the locality-aware analytics (§III-A, Fig 4) depend on.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from enum import Enum
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -95,17 +97,29 @@ class Cluster:
             for nid in node_ids
         }
         self._write_ts = itertools.count(_now_us())
-        # Coordinator operations may be issued concurrently from sparklet
-        # task threads; one coarse lock keeps the in-process data
-        # structures consistent (it serializes, it does not change
-        # semantics — the real system's concurrency control lives inside
-        # each C* node).
+        # Write-path coordination (replica set + hint buffering must be
+        # atomic per write) stays under one coarse lock; the *read* path
+        # runs lock-free at this layer — each TableStore snapshots its
+        # runs under its own lock — so scatter-gather reads genuinely
+        # overlap.
         self._op_lock = threading.RLock()
         # Aggregate coordinator counters (S1 bench reads these).
         self.coordinator_writes = 0
         self.coordinator_reads = 0
         self.hinted_writes = 0
         self.read_repairs = 0
+        self._counter_lock = threading.Lock()
+        # Monotonic per-table write epochs: bumped on every coordinated
+        # write, so layered caches (the server's result cache) can detect
+        # staleness without subscribing to individual writes.
+        self._table_epochs: dict[str, int] = {}
+        # Scatter-gather executors, created on first use.  Two pools, not
+        # one: a partition fan-out task may itself fan out to replicas,
+        # and nesting both on a single bounded pool can deadlock.
+        self._pool_lock = threading.Lock()
+        self._scatter_pool_: ThreadPoolExecutor | None = None
+        self._replica_pool_: ThreadPoolExecutor | None = None
+        self.scatter_width = min(8, max(2, len(node_ids)))
         # Process-wide obs series (shared across Cluster instances).
         registry = obs.get_registry()
         self._m_reads = registry.counter("cassdb.coordinator.reads")
@@ -120,6 +134,42 @@ class Cluster:
         self._m_consistency_failures = registry.counter(
             "cassdb.consistency.failures")
         self._m_locality_reads = registry.counter("cassdb.locality.reads")
+        self._m_scatter_gathers = registry.counter(
+            "cassdb.coordinator.scatter_gathers")
+        self._m_parallel_replica_reads = registry.counter(
+            "cassdb.coordinator.parallel_replica_reads")
+
+    # -- scatter-gather pools ----------------------------------------------
+
+    def _pool(self, attr: str, prefix: str) -> ThreadPoolExecutor:
+        pool = getattr(self, attr)
+        if pool is None:
+            with self._pool_lock:
+                pool = getattr(self, attr)
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.scatter_width,
+                        thread_name_prefix=prefix,
+                    )
+                    setattr(self, attr, pool)
+        return pool
+
+    @property
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        return self._pool("_scatter_pool_", "cassdb-scatter")
+
+    @property
+    def _replica_pool(self) -> ThreadPoolExecutor:
+        return self._pool("_replica_pool_", "cassdb-replica")
+
+    def close(self) -> None:
+        """Shut down the scatter-gather pools (idempotent)."""
+        with self._pool_lock:
+            for attr in ("_scatter_pool_", "_replica_pool_"):
+                pool = getattr(self, attr)
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    setattr(self, attr, None)
 
     # -- schema -----------------------------------------------------------
 
@@ -215,10 +265,16 @@ class Cluster:
                     table, partition_key, row, consistency)
         self._m_write_latency.observe((time.perf_counter() - start) * 1000.0)
 
+    def table_epoch(self, table: str) -> int:
+        """Monotonic count of coordinated writes to *table* (cache token)."""
+        with self._op_lock:
+            return self._table_epochs.get(table, 0)
+
     def _replicated_write_locked(
         self, table: str, partition_key: str, row: Row, consistency: Consistency
     ) -> None:
         self.coordinator_writes += 1
+        self._table_epochs[table] = self._table_epochs.get(table, 0) + 1
         self._m_writes.inc()
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
@@ -277,6 +333,53 @@ class Cluster:
             schema.rehydrate(pk_values, r.clustering, r.as_dict()) for r in rows
         ]
 
+    def select_partitions(
+        self,
+        table: str,
+        partition_values_list: Sequence[Sequence[Any] | Mapping[str, Any]],
+        *,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+        consistency: Consistency = Consistency.ONE,
+    ) -> list[list[dict[str, Any]]]:
+        """Scatter-gather read of several partitions (IN-list fan-out).
+
+        Dispatches one :meth:`select_partition` per key tuple to the
+        coordinator pool and gathers the per-partition row lists **in
+        input order** — Cassandra's multi-partition IN semantics, minus
+        the serial round-trips.  Single-key calls stay inline.
+        """
+        if len(partition_values_list) <= 1:
+            return [
+                self.select_partition(
+                    table, pv, lower=lower, upper=upper, reverse=reverse,
+                    limit=limit, consistency=consistency,
+                )
+                for pv in partition_values_list
+            ]
+        self._m_scatter_gathers.inc()
+        pool = self._scatter_pool
+        with obs.get_tracer().span(
+            "cassdb.scatter_gather", table=table,
+            partitions=len(partition_values_list),
+        ):
+            futures = [
+                pool.submit(
+                    contextvars.copy_context().run, self.select_partition,
+                    table, pv, lower=lower, upper=upper, reverse=reverse,
+                    limit=limit, consistency=consistency,
+                )
+                for pv in partition_values_list
+            ]
+            try:
+                return [f.result() for f in futures]
+            except BaseException:
+                for f in futures:
+                    f.cancel()
+                raise
+
     def _replicated_read(
         self,
         table: str,
@@ -291,16 +394,15 @@ class Cluster:
         with obs.get_tracer().span(
             "cassdb.read", table=table, partition=partition_key
         ) as span:
-            with self._op_lock:
-                rows = self._replicated_read_locked(
-                    table, partition_key, lower, upper, reverse, limit,
-                    consistency,
-                )
+            rows = self._coordinate_read(
+                table, partition_key, lower, upper, reverse, limit,
+                consistency,
+            )
             span.set(rows=len(rows))
         self._m_read_latency.observe((time.perf_counter() - start) * 1000.0)
         return rows
 
-    def _replicated_read_locked(
+    def _coordinate_read(
         self,
         table: str,
         partition_key: str,
@@ -310,7 +412,8 @@ class Cluster:
         limit: int | None,
         consistency: Consistency,
     ) -> list[Row]:
-        self.coordinator_reads += 1
+        with self._counter_lock:
+            self.coordinator_reads += 1
         self._m_reads.inc()
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
@@ -319,13 +422,34 @@ class Cluster:
             self._m_consistency_failures.inc()
             raise UnavailableError(required, len(alive))
         responses: dict[str, list[Row]] = {}
-        for replica_id in alive[:required]:
+        targets = alive[:required]
+
+        def read_replica(replica_id: str) -> list[Row] | None:
             try:
-                responses[replica_id] = self.nodes[replica_id].read_partition(
+                return self.nodes[replica_id].read_partition(
                     table, partition_key, lower, upper, reverse, limit
                 )
             except NodeDownError:  # raced with a kill; treat as no response
-                pass
+                return None
+
+        if len(targets) == 1:
+            rows = read_replica(targets[0])
+            if rows is not None:
+                responses[targets[0]] = rows
+        else:
+            # QUORUM/ALL: query every required replica concurrently and
+            # gather — digest latency is max(replicas), not sum.
+            self._m_parallel_replica_reads.inc()
+            pool = self._replica_pool
+            futures = {
+                rid: pool.submit(
+                    contextvars.copy_context().run, read_replica, rid)
+                for rid in targets
+            }
+            for rid, future in futures.items():
+                rows = future.result()
+                if rows is not None:
+                    responses[rid] = rows
         if len(responses) < required:
             self._m_consistency_failures.inc()
             raise ReadTimeoutError(required, len(responses))
@@ -358,7 +482,8 @@ class Cluster:
                 stale = have.get(clustering)
                 if stale is None or stale.cells != row.cells:
                     self.nodes[replica_id].write(table, partition_key, row)
-                    self.read_repairs += 1
+                    with self._counter_lock:
+                        self.read_repairs += 1
                     self._m_read_repairs.inc()
         return [r for r in merged.values() if r.is_live]
 
@@ -413,13 +538,12 @@ class Cluster:
         with obs.get_tracer().span(
             "cassdb.read", table=table, partition=partition_key, locality=True
         ) as span:
-            with self._op_lock:
-                rows = self._read_partition_raw_locked(table, partition_key)
+            rows = self._read_partition_raw_impl(table, partition_key)
             span.set(rows=len(rows))
         self._m_read_latency.observe((time.perf_counter() - start) * 1000.0)
         return rows
 
-    def _read_partition_raw_locked(
+    def _read_partition_raw_impl(
         self, table: str, partition_key: str
     ) -> list[dict[str, Any]]:
         schema = self.schema(table)

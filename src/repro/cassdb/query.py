@@ -25,15 +25,44 @@ booleans) or ``?`` placeholders bound from ``params``.
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Sequence
+
+from repro import obs
 
 from .cluster import Cluster, Consistency
 from .errors import InvalidQueryError, SchemaError
 from .row import ClusteringBound
 from .schema import TableSchema
 
-__all__ = ["Session", "parse_statement"]
+__all__ = ["Session", "normalize_cql", "parse_statement"]
+
+# Plan-cache health, shared across sessions (the frontend pattern is
+# many sessions issuing the same handful of statements).
+_M_PLAN_HITS = obs.get_registry().counter("cassdb.query.plan_cache_hits")
+_M_PLAN_MISSES = obs.get_registry().counter("cassdb.query.plan_cache_misses")
+_M_PLAN_EVICTIONS = obs.get_registry().counter(
+    "cassdb.query.plan_cache_evictions")
+
+_QUOTED_RE = re.compile(r"('(?:[^']|'')*')")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_cql(text: str) -> str:
+    """Whitespace-normalized statement text (the plan-cache key).
+
+    Collapses runs of whitespace *outside* single-quoted literals only —
+    ``'a  b'`` and ``'a b'`` are different values and must not share a
+    cache entry.
+    """
+    parts = _QUOTED_RE.split(text)
+    # Odd indices are the quoted literals, preserved verbatim.
+    return "".join(
+        seg if i % 2 else _WS_RE.sub(" ", seg)
+        for i, seg in enumerate(parts)
+    ).strip()
 
 _TOKEN_RE = re.compile(
     r"""
@@ -383,20 +412,67 @@ def _bind(values: list[Any], params: Sequence[Any]) -> list[Any]:
 
 
 class Session:
-    """Statement-level facade over a :class:`Cluster` (driver session)."""
+    """Statement-level facade over a :class:`Cluster` (driver session).
+
+    Statements are planned through a bounded LRU cache keyed on the
+    normalized statement text, so the frontend's repeated point-in-time
+    SELECTs (same CQL, different ``?`` bindings) tokenize and parse once.
+    ``plan_cache_size=0`` disables caching (benchmark baseline).
+    """
 
     def __init__(self, cluster: Cluster,
-                 consistency: Consistency = Consistency.ONE):
+                 consistency: Consistency = Consistency.ONE,
+                 plan_cache_size: int = 256):
         self.cluster = cluster
         self.consistency = consistency
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[
+            str, CreateTable | Insert | Select | Delete] = OrderedDict()
+        self._plan_lock = threading.Lock()
+
+    # -- plan cache ----------------------------------------------------------
+
+    def plan(self, statement: str) -> CreateTable | Insert | Select | Delete:
+        """The (possibly cached) AST for *statement*.
+
+        The returned AST is shared between executions and must be treated
+        as immutable; binding always builds fresh value lists.
+        """
+        if self.plan_cache_size <= 0:
+            return parse_statement(statement)
+        key = normalize_cql(statement)
+        with self._plan_lock:
+            stmt = self._plan_cache.get(key)
+            if stmt is not None:
+                self._plan_cache.move_to_end(key)
+                _M_PLAN_HITS.inc()
+                return stmt
+        _M_PLAN_MISSES.inc()
+        stmt = parse_statement(statement)
+        with self._plan_lock:
+            self._plan_cache[key] = stmt
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+                _M_PLAN_EVICTIONS.inc()
+        return stmt
+
+    def clear_plan_cache(self) -> None:
+        with self._plan_lock:
+            self._plan_cache.clear()
+
+    @property
+    def plan_cache_len(self) -> int:
+        return len(self._plan_cache)
 
     def execute(
         self, statement: str, params: Sequence[Any] = (),
         consistency: Consistency | None = None,
     ) -> list[dict[str, Any]]:
-        """Parse, bind and run one statement; SELECTs return row dicts."""
+        """Plan (cached), bind and run one statement; SELECTs return row
+        dicts."""
         cl = consistency or self.consistency
-        stmt = parse_statement(statement)
+        stmt = self.plan(statement)
         if isinstance(stmt, CreateTable):
             if params:
                 raise InvalidQueryError("CREATE TABLE takes no parameters")
@@ -530,21 +606,23 @@ class Session:
             raise InvalidQueryError("LIMIT placeholder binding is unsupported")
         # IN fans out to several partitions; results concatenate in
         # IN-list order, each partition internally clustering-ordered
-        # (Cassandra's multi-partition semantics).  The partition-level
+        # (Cassandra's multi-partition semantics).  The coordinator
+        # scatter-gathers the fan-out concurrently.  The partition-level
         # limit push-down only applies to single-partition, no-residual
         # queries.
         pushdown = limit if (not residual and len(pk_tuples) == 1) else None
+        partition_rows = self.cluster.select_partitions(
+            stmt.table,
+            pk_tuples,
+            lower=lower,
+            upper=upper,
+            reverse=reverse,
+            limit=pushdown,
+            consistency=cl,
+        )
         rows: list[dict[str, Any]] = []
-        for pk_tuple in pk_tuples:
-            rows.extend(self.cluster.select_partition(
-                stmt.table,
-                pk_tuple,
-                lower=lower,
-                upper=upper,
-                reverse=reverse,
-                limit=pushdown,
-                consistency=cl,
-            ))
+        for plist in partition_rows:
+            rows.extend(plist)
         if residual:
             rows = [r for r in rows if all(self._matches(r, p) for p in residual)]
         if limit is not None:

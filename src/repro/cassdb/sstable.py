@@ -15,16 +15,32 @@ immutability (compaction builds new tables, never edits) and sortedness
 from __future__ import annotations
 
 import bisect
+import heapq
 import itertools
+import operator
 from typing import Iterable, Iterator
 
 from .bloom import BloomFilter
 from .memtable import Memtable
 from .row import ClusteringBound, Row, merge_rows
 
-__all__ = ["SSTable", "merge_sstables", "scan_partition"]
+__all__ = [
+    "INDEX_INTERVAL",
+    "SSTable",
+    "merge_row_slices",
+    "merge_sstables",
+    "scan_partition",
+    "slice_bounds",
+]
 
 _generation_counter = itertools.count(1)
+
+# One clustering key is sampled into the sparse index every this many
+# rows; a bounds probe bisects the samples first, so the exact bisect
+# only ever inspects one sample block instead of the whole partition.
+INDEX_INTERVAL = 64
+
+_CLUSTERING = operator.attrgetter("clustering")
 
 
 class SSTable:
@@ -38,6 +54,16 @@ class SSTable:
         )
         self.bloom = BloomFilter.from_keys(partitions.keys())
         self.row_count = sum(len(rows) for rows in partitions.values())
+        self.index_interval = INDEX_INTERVAL
+        # Sparse clustering index: every INDEX_INTERVAL-th clustering key
+        # per partition (only for partitions big enough to benefit).  The
+        # role index blocks play in Cassandra's -Index.db component.
+        self.index: dict[str, list[tuple]] = {
+            pk: [rows[i].clustering
+                 for i in range(0, len(rows), INDEX_INTERVAL)]
+            for pk, rows in partitions.items()
+            if len(rows) > INDEX_INTERVAL
+        }
 
     @classmethod
     def from_memtable(cls, memtable: Memtable) -> "SSTable":
@@ -55,11 +81,76 @@ class SSTable:
             return None
         return self.partitions.get(partition_key)
 
+    def slice_partition(
+        self,
+        partition_key: str,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+    ) -> tuple[list[Row], int] | None:
+        """The in-bounds slice of a partition plus the pruned-row count.
+
+        Bisects into the run via the sparse clustering index, so only the
+        in-range rows are ever copied out; ``None`` when the partition is
+        absent from this run.
+        """
+        rows = self.partitions.get(partition_key)
+        if rows is None:
+            return None
+        lo, hi = slice_bounds(rows, lower, upper,
+                              samples=self.index.get(partition_key),
+                              interval=self.index_interval)
+        return rows[lo:hi], len(rows) - (hi - lo)
+
     def partition_keys(self) -> Iterator[str]:
         return iter(self.partitions)
 
     def __len__(self) -> int:
         return self.row_count
+
+
+def slice_bounds(
+    rows: list[Row],
+    lower: ClusteringBound | None = None,
+    upper: ClusteringBound | None = None,
+    *,
+    samples: list[tuple] | None = None,
+    interval: int = INDEX_INTERVAL,
+) -> tuple[int, int]:
+    """The ``[lo, hi)`` index range of *rows* admitted by the bounds.
+
+    Bisects directly over the row objects (no key-list materialization),
+    then applies the (prefix-aware) bound predicates to the edge elements
+    only — O(log n + edge) for the probe.  With *samples* (a sparse
+    clustering index: every *interval*-th key) each bisect is first
+    narrowed to a single sample block, so it inspects O(log(n/interval)
+    + log(interval)) keys of a large partition.
+    """
+    n = len(rows)
+    lo, hi = 0, n
+    if not n:
+        return 0, 0
+    if lower is not None:
+        blo, bhi = 0, n
+        if samples:
+            i = bisect.bisect_left(samples, lower.key)
+            blo = max(0, (i - 1) * interval)
+            bhi = min(n, i * interval)
+        lo = bisect.bisect_left(rows, lower.key, blo, bhi, key=_CLUSTERING)
+        while lo < n and not lower.admits_lower(rows[lo].clustering):
+            lo += 1
+    if upper is not None:
+        # Pad the bound so that every clustering tuple sharing the prefix
+        # sorts below the sentinel, then walk back over rejected edges.
+        padded = upper.key + (_Greatest(),)
+        blo, bhi = 0, n
+        if samples:
+            j = bisect.bisect_right(samples, padded)
+            blo = max(0, (j - 1) * interval)
+            bhi = min(n, j * interval)
+        hi = bisect.bisect_right(rows, padded, blo, bhi, key=_CLUSTERING)
+        while hi > lo and not upper.admits_upper(rows[hi - 1].clustering):
+            hi -= 1
+    return lo, max(lo, hi)
 
 
 def scan_partition(
@@ -68,28 +159,81 @@ def scan_partition(
     upper: ClusteringBound | None = None,
     reverse: bool = False,
 ) -> list[Row]:
-    """Range-scan a sorted row list by clustering bounds.
-
-    Bisect to the bound positions, then apply the (prefix-aware) bound
-    predicates to the edge elements only — O(log n + k) for k results.
-    """
+    """Range-scan a sorted row list by clustering bounds."""
     if not rows:
         return []
-    keys = [r.clustering for r in rows]
-    lo = 0
-    hi = len(rows)
-    if lower is not None:
-        lo = bisect.bisect_left(keys, lower.key)
-        while lo < len(rows) and not lower.admits_lower(keys[lo]):
-            lo += 1
-    if upper is not None:
-        # Pad the bound so that every clustering tuple sharing the prefix
-        # sorts below the sentinel, then walk back over rejected edges.
-        hi = bisect.bisect_right(keys, upper.key + (_Greatest(),))
-        while hi > lo and not upper.admits_upper(keys[hi - 1]):
-            hi -= 1
+    lo, hi = slice_bounds(rows, lower, upper)
     selected = rows[lo:hi]
     return selected[::-1] if reverse else selected
+
+
+class _RevKey:
+    """Inverts clustering-key ordering so heapq pops descending."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple):
+        self.key = key
+
+    def __lt__(self, other: "_RevKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _RevKey) and self.key == other.key
+
+
+def merge_row_slices(
+    slices: list[list[Row]],
+    reverse: bool = False,
+    limit: int | None = None,
+) -> list[Row]:
+    """k-way heap merge of sorted, bounds-pruned row slices.
+
+    Rows with equal clustering keys across runs are reconciled with
+    :func:`merge_rows` (cell-timestamp last-write-wins); rows whose merged
+    state is tombstoned are skipped and do not count toward *limit*.  The
+    merge consumes its inputs lazily and stops as soon as *limit* live
+    rows are produced — on a ``LIMIT k`` scan the trailing rows of every
+    run are never even compared.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    if len(slices) == 1:
+        ordered = slices[0][::-1] if reverse else slices[0]
+        out = []
+        for row in ordered:
+            if row.is_live:
+                out.append(row)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+    make_key = _RevKey if reverse else (lambda k: k)
+    heap = []
+    for sid, rows in enumerate(slices):
+        it = iter(reversed(rows)) if reverse else iter(rows)
+        first = next(it, None)
+        if first is not None:
+            heap.append((make_key(first.clustering), sid, first, it))
+    heapq.heapify(heap)
+    out: list[Row] = []
+    while heap:
+        key, _sid, row, it = heapq.heappop(heap)
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (make_key(nxt.clustering), _sid, nxt, it))
+        # Reconcile every run's copy of this clustering key before
+        # deciding liveness: a tombstone in one run may shadow the rest.
+        while heap and heap[0][0] == key:
+            _k, sid2, row2, it2 = heapq.heappop(heap)
+            row = merge_rows(row, row2)
+            nxt = next(it2, None)
+            if nxt is not None:
+                heapq.heappush(heap, (make_key(nxt.clustering), sid2, nxt, it2))
+        if row.is_live:
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+    return out
 
 
 class _Greatest:

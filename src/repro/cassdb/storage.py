@@ -9,13 +9,14 @@ matching the simulated cluster's per-node execution model.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro import obs
 
 from .memtable import Memtable
 from .row import ClusteringBound, Row
-from .sstable import SSTable, merge_sstables, scan_partition, _merge_sorted_rows
+from .sstable import SSTable, merge_row_slices, merge_sstables, slice_bounds
 
 __all__ = ["StoreStats", "TableStore"]
 
@@ -25,6 +26,7 @@ _M_FLUSHES = obs.get_registry().counter("cassdb.store.flushes")
 _M_COMPACTIONS = obs.get_registry().counter("cassdb.store.compactions")
 _M_BLOOM_SKIPS = obs.get_registry().counter("cassdb.store.bloom_skips")
 _M_SSTABLE_PROBES = obs.get_registry().counter("cassdb.store.sstable_probes")
+_M_ROWS_PRUNED = obs.get_registry().counter("cassdb.store.rows_pruned")
 _M_FLUSHED_ROWS = obs.get_registry().histogram(
     "cassdb.store.flush_rows", buckets=(100, 1000, 10_000, 100_000))
 
@@ -39,6 +41,7 @@ class StoreStats:
     compactions: int = 0
     bloom_skips: int = 0  # SSTable reads avoided by the bloom filter
     sstable_probes: int = 0
+    rows_pruned: int = 0  # rows excluded by clustering bounds before merge
 
 
 @dataclass
@@ -59,44 +62,51 @@ class TableStore:
     memtable: Memtable = field(default_factory=Memtable)
     sstables: list[SSTable] = field(default_factory=list)
     stats: StoreStats = field(default_factory=StoreStats)
+    # Guards memtable/sstable swaps against the coordinator's parallel
+    # replica reads; merge work happens outside it, on a snapshot.
+    lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     # -- write path -----------------------------------------------------
 
     def write(self, partition_key: str, row: Row) -> None:
-        self.memtable.upsert(partition_key, row)
-        self.stats.writes += 1
-        if self.memtable.row_count >= self.flush_threshold:
-            self.flush()
+        with self.lock:
+            self.memtable.upsert(partition_key, row)
+            self.stats.writes += 1
+            if self.memtable.row_count >= self.flush_threshold:
+                self.flush()
 
     def delete(self, partition_key: str, clustering: tuple, tombstone_ts: int) -> None:
-        self.memtable.delete(partition_key, clustering, tombstone_ts)
-        self.stats.writes += 1
-        if self.memtable.row_count >= self.flush_threshold:
-            self.flush()
+        with self.lock:
+            self.memtable.delete(partition_key, clustering, tombstone_ts)
+            self.stats.writes += 1
+            if self.memtable.row_count >= self.flush_threshold:
+                self.flush()
 
     def flush(self) -> None:
         """Freeze the memtable into a new SSTable (no-op when empty)."""
-        if not self.memtable.row_count:
-            return
-        flushed_rows = self.memtable.row_count
-        with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
-            self.sstables.append(SSTable.from_memtable(self.memtable))
-            self.memtable = Memtable()
-        self.stats.flushes += 1
-        _M_FLUSHES.inc()
-        _M_FLUSHED_ROWS.observe(flushed_rows)
-        if len(self.sstables) > self.max_sstables:
-            self.compact()
+        with self.lock:
+            if not self.memtable.row_count:
+                return
+            flushed_rows = self.memtable.row_count
+            with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
+                self.sstables.append(SSTable.from_memtable(self.memtable))
+                self.memtable = Memtable()
+            self.stats.flushes += 1
+            _M_FLUSHES.inc()
+            _M_FLUSHED_ROWS.observe(flushed_rows)
+            if len(self.sstables) > self.max_sstables:
+                self.compact()
 
     def compact(self) -> None:
         """Merge all runs into one, dropping shadowed data and tombstones."""
-        if len(self.sstables) <= 1:
-            return
-        with obs.get_tracer().span("cassdb.store.compact",
-                                   runs=len(self.sstables)):
-            self.sstables = [merge_sstables(self.sstables)]
-        self.stats.compactions += 1
-        _M_COMPACTIONS.inc()
+        with self.lock:
+            if len(self.sstables) <= 1:
+                return
+            with obs.get_tracer().span("cassdb.store.compact",
+                                       runs=len(self.sstables)):
+                self.sstables = [merge_sstables(self.sstables)]
+            self.stats.compactions += 1
+            _M_COMPACTIONS.inc()
 
     # -- read path ------------------------------------------------------
 
@@ -110,42 +120,54 @@ class TableStore:
     ) -> list[Row]:
         """All live rows of a partition within clustering bounds.
 
-        Merges every run that may contain the partition (bloom-filtered),
-        reconciles duplicates by cell timestamp, filters tombstoned rows,
-        then applies bounds and limit.
+        Each run that may contain the partition (bloom-filtered) is first
+        bisected down to its in-bounds slice — out-of-range rows are
+        *pruned* before any merge work — then the slices k-way heap-merge
+        (duplicates reconciled by cell timestamp, tombstoned rows
+        dropped) with early termination once *limit* live rows exist.
         """
-        self.stats.reads += 1
         sources: list[list[Row]] = []
-        mem_part = self.memtable.get_partition(partition_key)
-        if mem_part is not None:
-            sources.append(mem_part.sorted_rows())
-        for sst in self.sstables:
-            if not sst.maybe_contains(partition_key):
-                self.stats.bloom_skips += 1
-                _M_BLOOM_SKIPS.inc()
-                continue
-            self.stats.sstable_probes += 1
-            _M_SSTABLE_PROBES.inc()
-            rows = sst.partitions.get(partition_key)
-            if rows:
-                sources.append(rows)
+        pruned = 0
+        with self.lock:
+            self.stats.reads += 1
+            mem_part = self.memtable.get_partition(partition_key)
+            if mem_part is not None:
+                rows = mem_part.sorted_rows()
+                lo, hi = slice_bounds(rows, lower, upper)
+                pruned += len(rows) - (hi - lo)
+                if hi > lo:
+                    sources.append(rows[lo:hi])
+            for sst in self.sstables:
+                if not sst.maybe_contains(partition_key):
+                    self.stats.bloom_skips += 1
+                    _M_BLOOM_SKIPS.inc()
+                    continue
+                self.stats.sstable_probes += 1
+                _M_SSTABLE_PROBES.inc()
+                sliced = sst.slice_partition(partition_key, lower, upper)
+                if sliced is not None:
+                    rows, skipped = sliced
+                    pruned += skipped
+                    if rows:
+                        sources.append(rows)
+            if pruned:
+                self.stats.rows_pruned += pruned
+        if pruned:
+            _M_ROWS_PRUNED.inc(pruned)
         if not sources:
             return []
-        merged = _merge_sorted_rows(sources)
-        live = [r for r in merged if r.is_live]
-        out = scan_partition(live, lower, upper, reverse)
-        if limit is not None:
-            out = out[:limit]
-        return out
+        return merge_row_slices(sources, reverse=reverse, limit=limit)
 
     def partition_keys(self) -> set[str]:
         """Every partition key present on this node (memtable + runs)."""
-        keys = set(self.memtable.partition_keys())
-        for sst in self.sstables:
-            keys.update(sst.partition_keys())
-        return keys
+        with self.lock:
+            keys = set(self.memtable.partition_keys())
+            for sst in self.sstables:
+                keys.update(sst.partition_keys())
+            return keys
 
     @property
     def row_count(self) -> int:
         """Approximate row count (duplicates across runs counted once each)."""
-        return self.memtable.row_count + sum(len(s) for s in self.sstables)
+        with self.lock:
+            return self.memtable.row_count + sum(len(s) for s in self.sstables)

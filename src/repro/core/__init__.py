@@ -58,11 +58,13 @@ from .profiles import (
     build_profiles,
     score_run,
 )
+from .result_cache import ResultCache
 from .server import AnalyticsServer
 from .textmining import storm_keywords, tf_idf, tokenize, top_terms, word_count
 
 __all__ = [
     "AnalyticsServer",
+    "ResultCache",
     "ApplicationProfile",
     "CompositeEventDef",
     "CompositeMatch",

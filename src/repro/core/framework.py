@@ -127,6 +127,7 @@ class LogAnalyticsFramework:
 
     def stop(self) -> None:
         self.sc.stop()
+        self.cluster.close()
 
     def __enter__(self) -> "LogAnalyticsFramework":
         return self

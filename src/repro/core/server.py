@@ -23,6 +23,7 @@ avoid data format conversion at the frontend."
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from dataclasses import asdict
 from typing import Any
@@ -30,11 +31,19 @@ from typing import Any
 import numpy as np
 
 from repro import obs
+from repro.cassdb.query import Delete, Insert, Select, normalize_cql
 
 from .context import Context
 from .framework import LogAnalyticsFramework
+from .result_cache import ResultCache
 
 __all__ = ["AnalyticsServer", "SIMPLE_OPS", "COMPLEX_OPS"]
+
+# Per-request cache outcome for the response's "cache" field.  A
+# ContextVar (not an instance attribute) because handle_many interleaves
+# requests on the event loop; each asyncio task sees only its own value.
+_CACHE_STATUS: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "server_cache_status", default=None)
 
 SIMPLE_OPS = frozenset({
     "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
@@ -48,8 +57,25 @@ COMPLEX_OPS = frozenset({
 })
 
 
+class _PreSerialized:
+    """A handler result that already went through :func:`_jsonable`.
+
+    Cached SELECT payloads are stored post-conversion so a cache hit
+    skips the O(rows) re-serialization; the payload object is shared
+    with the cache, so response consumers must treat it as read-only
+    (real transports json-dump it immediately).
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Any):
+        self.payload = payload
+
+
 def _jsonable(value: Any) -> Any:
     """Coerce numpy/containers into plain JSON-serializable types."""
+    if isinstance(value, _PreSerialized):
+        return value.payload
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, (np.integer,)):
@@ -72,11 +98,17 @@ class AnalyticsServer:
                  registry: obs.MetricsRegistry | None = None,
                  tracer: obs.Tracer | None = None,
                  slow_log: obs.SlowQueryLog | None = None,
-                 latency_window: int = 512):
+                 latency_window: int = 512,
+                 result_cache_size: int = 256,
+                 result_cache_ttl: float = 30.0):
         self.framework = framework
         self.registry = registry if registry is not None else obs.get_registry()
         self.tracer = tracer if tracer is not None else obs.get_tracer()
         self.slow_log = slow_log if slow_log is not None else obs.get_slow_log()
+        self.result_cache = ResultCache(
+            max_entries=result_cache_size, ttl_seconds=result_cache_ttl,
+            registry=self.registry,
+        )
         self.requests_served = 0
         self.errors = 0
         self._latency_window = latency_window
@@ -122,6 +154,7 @@ class AnalyticsServer:
         op = request.get("op")
         op_name = op if isinstance(op, str) else "<invalid>"
         outcome = "ok"
+        cache_token = _CACHE_STATUS.set(None)
         with self.tracer.root_span("server.request", op=op_name) as span:
             try:
                 if not isinstance(op, str) or (
@@ -145,6 +178,10 @@ class AnalyticsServer:
                             "error": f"{type(exc).__name__}: {exc}"}
                 span.mark_error(response["error"])
             span.set(outcome=outcome)
+        cache_status = _CACHE_STATUS.get()
+        _CACHE_STATUS.reset(cache_token)
+        if cache_status is not None:
+            response["cache"] = cache_status
         elapsed = (time.perf_counter() - start) * 1000.0
         response["elapsed_ms"] = elapsed
         self.requests_served += 1
@@ -205,7 +242,36 @@ class AnalyticsServer:
         statement = request.get("statement")
         if not statement:
             raise ValueError("cql requires 'statement'")
-        return self.framework.cql(statement, request.get("params", ()))
+        params = tuple(request.get("params", ()))
+        session = self.framework.session
+        plan = session.plan(statement)
+        if isinstance(plan, (Insert, Delete)):
+            result = self.framework.cql(statement, params)
+            # A write through the server promptly frees entries for the
+            # touched table (the epoch check would catch them lazily).
+            self.result_cache.invalidate_table(plan.table)
+            _CACHE_STATUS.set("invalidate")
+            return result
+        if not isinstance(plan, Select) or not self.result_cache.enabled:
+            _CACHE_STATUS.set("bypass")
+            return self.framework.cql(statement, params)
+        try:
+            key = (normalize_cql(statement), params)
+            hash(key)
+        except TypeError:  # unhashable params: serve uncached
+            _CACHE_STATUS.set("bypass")
+            return self.framework.cql(statement, params)
+        epoch_of = self.framework.cluster.table_epoch
+        cached = self.result_cache.get(key, epoch_of=epoch_of)
+        if cached is not ResultCache.MISSING:
+            _CACHE_STATUS.set("hit")
+            return _PreSerialized(cached)
+        result = self.framework.cql(statement, params)
+        payload = _jsonable(result)
+        self.result_cache.put(key, payload, tables=(plan.table,),
+                              epoch_of=epoch_of)
+        _CACHE_STATUS.set("miss")
+        return _PreSerialized(payload)
 
     # -- observability ops ----------------------------------------------------
 

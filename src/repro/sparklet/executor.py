@@ -27,7 +27,7 @@ import itertools
 import random
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -121,6 +121,10 @@ class WorkerPool:
         (the stage span) keeps propagating into the long-lived pool
         threads — the server → job → stage → task span chain survives
         the thread hop.
+
+        Fails fast: when any task raises, queued tasks are cancelled and
+        the first (in task order) failure re-raises immediately instead
+        of draining every remaining future first.
         """
         contexts = [
             TaskContext(worker=self.assign(pref), partition=idx)
@@ -132,6 +136,16 @@ class WorkerPool:
             )
             for (fn, _pref, _idx), tc in zip(tasks, contexts)
         ]
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next(
+            (f for f in futures
+             if f in done and not f.cancelled() and f.exception() is not None),
+            None,
+        )
+        if failed is not None:
+            for f in not_done:
+                f.cancel()
+            raise failed.exception()
         results = [f.result() for f in futures]
         return results, contexts
 

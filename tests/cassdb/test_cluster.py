@@ -248,3 +248,64 @@ class TestScansAndPlacement:
         insert_events(cluster, 10)
         cluster.flush_all()
         assert cluster.total_rows("event_by_time") == 10
+
+
+class TestScatterGather:
+    def test_in_list_results_preserve_input_order(self):
+        cluster = make_cluster(4, rf=2)
+        for h in range(8):
+            insert_events(cluster, h + 1, hour=h)
+        keys = [(5, "MCE"), (0, "MCE"), (7, "MCE"), (2, "MCE")]
+        per_partition = cluster.select_partitions("event_by_time", keys)
+        assert [len(rows) for rows in per_partition] == [6, 1, 8, 3]
+        for (hour, _), rows in zip(keys, per_partition):
+            assert all(r["hour"] == hour for r in rows)
+        cluster.close()
+
+    def test_scatter_matches_sequential_reads(self):
+        cluster = make_cluster(4, rf=3)
+        for h in range(6):
+            insert_events(cluster, 10, hour=h)
+        keys = [(h, "MCE") for h in range(6)]
+        scattered = cluster.select_partitions(
+            "event_by_time", keys, limit=4, consistency=Consistency.QUORUM)
+        sequential = [
+            cluster.select_partition(
+                "event_by_time", k, limit=4, consistency=Consistency.QUORUM)
+            for k in keys
+        ]
+        assert scattered == sequential
+        cluster.close()
+
+    def test_scatter_counter_increments_for_multi_key_only(self):
+        cluster = make_cluster(4, rf=2)
+        insert_events(cluster, 4, hour=0)
+        insert_events(cluster, 4, hour=1)
+        before = cluster._m_scatter_gathers.value
+        cluster.select_partitions("event_by_time", [(0, "MCE")])
+        assert cluster._m_scatter_gathers.value == before
+        cluster.select_partitions("event_by_time", [(0, "MCE"), (1, "MCE")])
+        assert cluster._m_scatter_gathers.value == before + 1
+        cluster.close()
+
+    def test_table_epoch_advances_on_writes(self):
+        cluster = make_cluster()
+        e0 = cluster.table_epoch("event_by_time")
+        insert_events(cluster, 3, hour=0)
+        e1 = cluster.table_epoch("event_by_time")
+        assert e1 == e0 + 3
+        cluster.delete_row(
+            "event_by_time",
+            {"hour": 0, "type": "MCE", "ts": 0.0, "seq": 0})
+        assert cluster.table_epoch("event_by_time") == e1 + 1
+
+    def test_quorum_scatter_survives_node_failure(self):
+        cluster = make_cluster(4, rf=3)
+        for h in range(4):
+            insert_events(cluster, 5, hour=h)
+        cluster.kill_node("node02")
+        rows = cluster.select_partitions(
+            "event_by_time", [(h, "MCE") for h in range(4)],
+            consistency=Consistency.QUORUM)
+        assert [len(r) for r in rows] == [5, 5, 5, 5]
+        cluster.close()

@@ -1,0 +1,95 @@
+"""Unit tests for the Session prepared-statement/plan cache."""
+
+import pytest
+
+from repro import obs
+from repro.cassdb import Cluster, Session, normalize_cql
+from repro.cassdb.query import Select
+
+
+@pytest.fixture
+def session():
+    s = Session(Cluster(2, replication_factor=1), plan_cache_size=4)
+    s.execute(
+        "CREATE TABLE ev (hour int, type text, ts double, seq int,"
+        " amount int, PRIMARY KEY ((hour, type), ts, seq))"
+    )
+    return s
+
+
+class TestNormalize:
+    def test_collapses_whitespace(self):
+        assert normalize_cql("SELECT  *\n FROM   t ") == "SELECT * FROM t"
+
+    def test_preserves_quoted_literals(self):
+        a = normalize_cql("SELECT * FROM t WHERE s = 'a  b'")
+        b = normalize_cql("SELECT * FROM t WHERE s = 'a b'")
+        assert a != b
+        assert "'a  b'" in a
+
+
+class TestPlanCache:
+    def test_hit_returns_same_ast(self, session):
+        q = "SELECT * FROM ev WHERE hour = 1 AND type = 'MCE'"
+        assert session.plan(q) is session.plan(q)
+
+    def test_whitespace_variants_share_one_plan(self, session):
+        a = session.plan("SELECT * FROM ev WHERE hour = 1 AND type = 'MCE'")
+        b = session.plan(
+            "SELECT  *  FROM ev\n WHERE hour = 1  AND type = 'MCE'")
+        assert a is b
+        assert session.plan_cache_len == 2  # CREATE TABLE + this SELECT
+
+    def test_placeholder_statement_shares_one_plan_across_params(self, session):
+        q = "INSERT INTO ev (hour, type, ts, seq, amount) VALUES (?, ?, ?, ?, ?)"
+        before = session.plan_cache_len
+        for i in range(10):
+            session.execute(q, (i % 2, "MCE", float(i), i, 1))
+        assert session.plan_cache_len == before + 1
+        rows = session.execute(
+            "SELECT * FROM ev WHERE hour = ? AND type = ?", (0, "MCE"))
+        assert len(rows) == 5
+
+    def test_hit_miss_counters(self, session):
+        hits = obs.get_registry().counter("cassdb.query.plan_cache_hits")
+        misses = obs.get_registry().counter("cassdb.query.plan_cache_misses")
+        h0, m0 = hits.value, misses.value
+        q = "SELECT * FROM ev WHERE hour = 3 AND type = 'MCE'"
+        session.execute(q)
+        assert misses.value == m0 + 1
+        session.execute(q)
+        session.execute(q)
+        assert hits.value == h0 + 2
+        assert misses.value == m0 + 1
+
+    def test_lru_eviction_is_bounded(self, session):
+        evictions = obs.get_registry().counter(
+            "cassdb.query.plan_cache_evictions")
+        e0 = evictions.value
+        q0 = "SELECT * FROM ev WHERE hour = 0 AND type = 'A'"
+        first = session.plan(q0)
+        for h in range(1, 6):
+            session.plan(f"SELECT * FROM ev WHERE hour = {h} AND type = 'A'")
+        assert session.plan_cache_len == 4
+        assert evictions.value > e0
+        # q0 was evicted: re-planning builds a fresh AST object.
+        assert session.plan(q0) is not first
+
+    def test_zero_size_disables_cache(self):
+        s = Session(Cluster(2, replication_factor=1), plan_cache_size=0)
+        s.execute("CREATE TABLE t (a int, PRIMARY KEY (a))")
+        q = "SELECT * FROM t WHERE a = 1"
+        p1, p2 = s.plan(q), s.plan(q)
+        assert isinstance(p1, Select)
+        assert p1 is not p2
+        assert s.plan_cache_len == 0
+
+    def test_cached_plan_rebinds_cleanly(self, session):
+        """The shared AST must not leak bound values between executions."""
+        q = "SELECT * FROM ev WHERE hour = ? AND type = ? AND ts >= ?"
+        session.execute(
+            "INSERT INTO ev (hour, type, ts, seq, amount)"
+            " VALUES (7, 'X', 5.0, 0, 1)")
+        assert session.execute(q, (7, "X", 0.0)) != []
+        assert session.execute(q, (7, "X", 9.0)) == []
+        assert session.execute(q, (7, "X", 0.0)) != []

@@ -1,6 +1,7 @@
 """Unit tests for the per-node LSM table store."""
 
 from repro.cassdb.row import ClusteringBound, Row
+from repro.cassdb.sstable import SSTable, merge_row_slices, slice_bounds
 from repro.cassdb.storage import TableStore
 
 
@@ -130,3 +131,101 @@ class TestCompactionEquivalence:
             for pk in store.partition_keys()
         }
         assert before == after
+
+
+class TestBoundsPruning:
+    """PR 2: bounded scans must touch strictly fewer rows than a full
+    partition read, observable through the ``rows_pruned`` counter."""
+
+    @staticmethod
+    def _loaded_store(n=300, flush_threshold=40):
+        store = TableStore(flush_threshold=flush_threshold)
+        for i in range(n):
+            store.write("pk", _row(float(i), seq=i))
+        return store
+
+    def test_bounded_read_prunes_rows(self):
+        store = self._loaded_store()
+        full = store.read_partition("pk")
+        assert store.stats.rows_pruned == 0  # full scans prune nothing
+        bounded = store.read_partition(
+            "pk", lower=ClusteringBound((100.0,)),
+            upper=ClusteringBound((110.0,)),
+        )
+        assert [r.clustering[0] for r in bounded] == [
+            float(i) for i in range(100, 111)]
+        assert len(bounded) < len(full)
+        # Everything outside [100, 110] was pruned in every run it
+        # appears in, before any merge work happened.
+        assert store.stats.rows_pruned >= len(full) - len(bounded)
+
+    def test_reverse_bounded_read_prunes_rows(self):
+        store = self._loaded_store()
+        rows = store.read_partition(
+            "pk", lower=ClusteringBound((200.0,)), reverse=True, limit=5)
+        assert [r.clustering[0] for r in rows] == [
+            299.0, 298.0, 297.0, 296.0, 295.0]
+        assert store.stats.rows_pruned >= 200
+
+    def test_bounded_equals_filtered_full_scan(self):
+        store = self._loaded_store(n=257, flush_threshold=31)
+        lower, upper = ClusteringBound((50.0,), False), ClusteringBound((90.0,))
+        bounded = store.read_partition("pk", lower=lower, upper=upper)
+        full = [r for r in store.read_partition("pk")
+                if 50.0 < r.clustering[0] <= 90.0]
+        assert [(r.clustering, r.as_dict()) for r in bounded] == \
+            [(r.clustering, r.as_dict()) for r in full]
+
+    def test_limit_early_termination_counts_live_rows_only(self):
+        store = TableStore(flush_threshold=5)
+        for i in range(30):
+            store.write("pk", _row(float(i), seq=i, write_ts=1))
+        for i in range(0, 10, 2):
+            store.delete("pk", (float(i), i), tombstone_ts=10)
+        rows = store.read_partition("pk", limit=6)
+        assert [r.clustering[0] for r in rows] == [1.0, 3.0, 5.0, 7.0, 9.0, 10.0]
+
+
+class TestSparseIndexAndMerge:
+    def test_sparse_index_built_for_large_partitions(self):
+        rows = [_row(float(i), seq=i) for i in range(200)]
+        sst = SSTable({"big": rows, "small": rows[:10]})
+        assert "big" in sst.index
+        assert "small" not in sst.index
+        assert len(sst.index["big"]) == (200 + sst.index_interval - 1) // \
+            sst.index_interval
+
+    def test_slice_bounds_with_and_without_samples_agree(self):
+        rows = [_row(float(i // 3), seq=i) for i in range(500)]
+        sst = SSTable({"pk": rows})
+        for lo_v, hi_v, lo_inc, hi_inc in [
+            (10.0, 50.0, True, True), (0.0, 0.0, True, True),
+            (42.0, 43.0, False, False), (165.0, 900.0, True, True),
+            (-5.0, 3.0, True, False),
+        ]:
+            lower = ClusteringBound((lo_v,), lo_inc)
+            upper = ClusteringBound((hi_v,), hi_inc)
+            plain = slice_bounds(rows, lower, upper)
+            indexed = slice_bounds(rows, lower, upper,
+                                   samples=sst.index["pk"],
+                                   interval=sst.index_interval)
+            assert plain == indexed
+
+    def test_merge_row_slices_reconciles_and_orders(self):
+        a = [Row.from_values((float(i), 0), {"v": "a"}, write_ts=1)
+             for i in range(0, 10, 2)]
+        b = [Row.from_values((float(i), 0), {"v": "b"}, write_ts=2)
+             for i in range(0, 10, 3)]
+        merged = merge_row_slices([a, b])
+        assert [r.clustering[0] for r in merged] == [
+            0.0, 2.0, 3.0, 4.0, 6.0, 8.0, 9.0]
+        by_key = {r.clustering[0]: r.value("v") for r in merged}
+        assert by_key[0.0] == "b"  # newer write wins on the overlap
+        assert by_key[6.0] == "b"
+        assert by_key[2.0] == "a"
+
+    def test_merge_row_slices_reverse_limit(self):
+        a = [_row(float(i), seq=0, write_ts=1) for i in range(0, 20, 2)]
+        b = [_row(float(i), seq=0, write_ts=1) for i in range(1, 20, 2)]
+        out = merge_row_slices([a, b], reverse=True, limit=4)
+        assert [r.clustering[0] for r in out] == [19.0, 18.0, 17.0, 16.0]

@@ -1,0 +1,100 @@
+"""Unit tests for WorkerPool task placement and fail-fast execution."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sparklet.executor import WorkerPool
+
+
+def _tasks(fns):
+    return [(fn, None, i) for i, fn in enumerate(fns)]
+
+
+class TestPlacement:
+    def test_locality_honours_preference(self):
+        pool = WorkerPool(["w0", "w1", "w2"], placement="locality")
+        try:
+            assert pool.assign("w1") == "w1"
+            # Unknown preference falls back to round-robin over the pool.
+            assert pool.assign("elsewhere") in pool.workers
+        finally:
+            pool.shutdown()
+
+    def test_round_robin_cycles(self):
+        pool = WorkerPool(["w0", "w1"], placement="round_robin")
+        try:
+            assert [pool.assign(None) for _ in range(4)] == [
+                "w0", "w1", "w0", "w1"]
+        finally:
+            pool.shutdown()
+
+
+class TestRunTasks:
+    def test_results_in_task_order(self):
+        pool = WorkerPool(["w0", "w1"], max_threads=4)
+        try:
+            results, contexts = pool.run_tasks(
+                _tasks([lambda tc, i=i: i * 10 for i in range(8)]))
+            assert results == [i * 10 for i in range(8)]
+            assert [tc.partition for tc in contexts] == list(range(8))
+        finally:
+            pool.shutdown()
+
+    def test_failure_reraises_original_exception(self):
+        pool = WorkerPool(["w0"], max_threads=2)
+
+        def boom(tc):
+            raise ValueError("task exploded")
+
+        try:
+            with pytest.raises(ValueError, match="task exploded"):
+                pool.run_tasks(_tasks([lambda tc: 1, boom, lambda tc: 3]))
+        finally:
+            pool.shutdown()
+
+    def test_early_failure_cancels_queued_tasks(self):
+        """With one thread, a failure in the first task must cancel the
+        queued tail instead of draining it."""
+        pool = WorkerPool(["w0"], max_threads=1)
+        ran = []
+
+        def boom(tc):
+            raise RuntimeError("first task fails")
+
+        def record(i):
+            def fn(tc):
+                ran.append(i)
+            return fn
+
+        try:
+            with pytest.raises(RuntimeError, match="first task fails"):
+                pool.run_tasks(_tasks([boom] + [record(i) for i in range(20)]))
+            # The single-threaded pool may have started at most one
+            # follow-up task before the cancellation landed.
+            assert len(ran) <= 1
+        finally:
+            pool.shutdown()
+
+    def test_failure_reraises_promptly(self):
+        """run_tasks must not wait for slow siblings once a task failed."""
+        pool = WorkerPool(["w0"], max_threads=2)
+        release = threading.Event()
+
+        def slow(tc):
+            release.wait(timeout=10.0)
+
+        def boom(tc):
+            time.sleep(0.01)
+            raise RuntimeError("fast failure")
+
+        try:
+            start = time.perf_counter()
+            with pytest.raises(RuntimeError, match="fast failure"):
+                pool.run_tasks(_tasks([slow, boom]))
+            elapsed = time.perf_counter() - start
+            assert elapsed < 5.0  # did not drain the 10 s sibling
+        finally:
+            release.set()
+            pool.shutdown()
