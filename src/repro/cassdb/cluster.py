@@ -21,10 +21,12 @@ the locality-aware analytics (§III-A, Fig 4) depend on.
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import itertools
 import threading
 import time
+from operator import itemgetter
 from concurrent.futures import ThreadPoolExecutor
 from enum import Enum
 from typing import Any, Iterable, Mapping, Sequence
@@ -42,6 +44,11 @@ from .hashring import HashRing
 from .node import Hint, StorageNode
 from .row import ClusteringBound, Row, merge_rows
 from .schema import Keyspace, TableSchema
+
+# Default number of write-lock stripes: enough that concurrent writers
+# to disjoint partitions rarely collide, small enough that acquiring
+# every stripe (repair) stays cheap.
+DEFAULT_WRITE_STRIPES = 32
 
 __all__ = ["Consistency", "Cluster"]
 
@@ -80,6 +87,7 @@ class Cluster:
         keyspace: str = "logs",
         flush_threshold: int = 50_000,
         max_sstables: int = 8,
+        write_stripes: int = DEFAULT_WRITE_STRIPES,
     ):
         if isinstance(node_ids, int):
             node_ids = [f"node{i:02d}" for i in range(node_ids)]
@@ -97,22 +105,29 @@ class Cluster:
             for nid in node_ids
         }
         self._write_ts = itertools.count(_now_us())
-        # Write-path coordination (replica set + hint buffering must be
-        # atomic per write) stays under one coarse lock; the *read* path
-        # runs lock-free at this layer — each TableStore snapshots its
-        # runs under its own lock — so scatter-gather reads genuinely
-        # overlap.
-        self._op_lock = threading.RLock()
+        # Write-path coordination is *striped*: each (table, partition)
+        # hashes to one of ``write_stripes`` locks, so writers to
+        # disjoint partitions commit concurrently while replica-set
+        # application + hint buffering stays atomic per partition.  The
+        # *read* path runs lock-free at this layer — each TableStore
+        # snapshots its runs under its own lock.  Repair acquires every
+        # stripe (in index order, as does the batched group path, so
+        # lock ordering is total and deadlock-free).
+        self._write_locks = tuple(
+            threading.RLock() for _ in range(max(1, write_stripes))
+        )
         # Aggregate coordinator counters (S1 bench reads these).
         self.coordinator_writes = 0
         self.coordinator_reads = 0
         self.hinted_writes = 0
         self.read_repairs = 0
         self._counter_lock = threading.Lock()
-        # Monotonic per-table write epochs: bumped on every coordinated
-        # write, so layered caches (the server's result cache) can detect
-        # staleness without subscribing to individual writes.
+        # Monotonic per-table write epochs: bumped on every *successful*
+        # coordinated write (once per batch), so layered caches (the
+        # server's result cache) can detect staleness without
+        # subscribing to individual writes.
         self._table_epochs: dict[str, int] = {}
+        self._epoch_lock = threading.Lock()
         # Scatter-gather executors, created on first use.  Two pools, not
         # one: a partition fan-out task may itself fan out to replicas,
         # and nesting both on a single bounded pool can deadlock.
@@ -138,6 +153,12 @@ class Cluster:
             "cassdb.coordinator.scatter_gathers")
         self._m_parallel_replica_reads = registry.counter(
             "cassdb.coordinator.parallel_replica_reads")
+        # Batched write path (S6 bench reads these).
+        self._m_batches = registry.counter("cassdb.write.batches")
+        self._m_batch_rows = registry.histogram(
+            "cassdb.write.batch_rows", buckets=(10, 100, 1000, 10_000))
+        self._m_batch_groups = registry.histogram(
+            "cassdb.write.batch_groups", buckets=(1, 2, 4, 8, 16))
 
     # -- scatter-gather pools ----------------------------------------------
 
@@ -218,12 +239,10 @@ class Cluster:
     ) -> None:
         """Insert/upsert one row (CQL ``INSERT`` semantics: always upsert)."""
         schema = self.schema(table)
-        pk = schema.partition_key_of(values)
-        clustering = schema.clustering_of(values)
-        ts = self.next_write_ts() if write_ts is None else write_ts
         # Key columns are stored positionally (in the partition key string
         # and clustering tuple); only regular columns become cells.
-        row = Row.from_values(clustering, schema.regular_columns(values), ts)
+        ts = self.next_write_ts() if write_ts is None else write_ts
+        pk, row = schema.row_builder(values, ts)
         self._replicated_write(table, pk, row, consistency)
 
     def insert_many(
@@ -232,12 +251,13 @@ class Cluster:
         rows: Iterable[Mapping[str, Any]],
         consistency: Consistency = Consistency.ONE,
     ) -> int:
-        """Bulk upsert; returns the number of rows written."""
-        n = 0
-        for values in rows:
-            self.insert(table, values, consistency)
-            n += 1
-        return n
+        """Bulk upsert; returns the number of rows written.
+
+        Routed through :meth:`write_batch`: rows are grouped by replica
+        set and applied with one lock acquisition per (group, store),
+        not one per row.
+        """
+        return self.write_batch(table, rows, consistency)
 
     def delete_row(
         self,
@@ -253,6 +273,30 @@ class Cluster:
         marker = Row(clustering=clustering, cells={}, tombstone_ts=ts)
         self._replicated_write(table, pk, marker, consistency)
 
+    # -- write-lock striping -------------------------------------------------
+
+    def _stripe_index(self, partition_key: str) -> int:
+        # The ring key folds the table name in, so this stripes by
+        # (table, partition) as the batched-commit design requires.
+        return hash(partition_key) % len(self._write_locks)
+
+    def _all_write_locks(self) -> contextlib.ExitStack:
+        """Acquire every stripe in index order (repair's full barrier)."""
+        stack = contextlib.ExitStack()
+        for lock in self._write_locks:
+            stack.enter_context(lock)
+        return stack
+
+    def _bump_epoch(self, table: str) -> None:
+        with self._epoch_lock:
+            self._table_epochs[table] = self._table_epochs.get(table, 0) + 1
+
+    def table_epoch(self, table: str) -> int:
+        """Monotonic count of coordinated write *commits* to *table*
+        (cache token; a whole batch counts once)."""
+        with self._epoch_lock:
+            return self._table_epochs.get(table, 0)
+
     def _replicated_write(
         self, table: str, partition_key: str, row: Row, consistency: Consistency
     ) -> None:
@@ -260,26 +304,20 @@ class Cluster:
         with obs.get_tracer().span(
             "cassdb.write", table=table, partition=partition_key
         ):
-            with self._op_lock:
+            with self._write_locks[self._stripe_index(partition_key)]:
                 self._replicated_write_locked(
                     table, partition_key, row, consistency)
         self._m_write_latency.observe((time.perf_counter() - start) * 1000.0)
 
-    def table_epoch(self, table: str) -> int:
-        """Monotonic count of coordinated writes to *table* (cache token)."""
-        with self._op_lock:
-            return self._table_epochs.get(table, 0)
-
     def _replicated_write_locked(
         self, table: str, partition_key: str, row: Row, consistency: Consistency
     ) -> None:
-        self.coordinator_writes += 1
-        self._table_epochs[table] = self._table_epochs.get(table, 0) + 1
-        self._m_writes.inc()
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
         alive = [r for r in replicas if self.nodes[r].up]
         if len(alive) < required:
+            # Nothing was applied: counters, the table epoch and the
+            # layered result caches must stay untouched.
             self._m_consistency_failures.inc()
             raise UnavailableError(required, len(alive))
         coordinator = self.nodes[alive[0]]
@@ -293,11 +331,142 @@ class Cluster:
                 coordinator.buffer_hint(
                     Hint(replica_id, table, partition_key, row)
                 )
-                self.hinted_writes += 1
+                with self._counter_lock:
+                    self.hinted_writes += 1
                 self._m_hints_buffered.inc()
         if acks < required:  # pragma: no cover - guarded by Unavailable above
             self._m_consistency_failures.inc()
             raise WriteTimeoutError(required, acks)
+        with self._counter_lock:
+            self.coordinator_writes += 1
+        self._m_writes.inc()
+        self._bump_epoch(table)
+
+    # -- batched write path --------------------------------------------------
+
+    def write_batch(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, Any]],
+        consistency: Consistency = Consistency.ONE,
+    ) -> int:
+        """Bulk upsert one table in replica-set groups; returns rows written.
+
+        The batched commit the ingest pipelines ride (§III-D: Spark
+        micro-batches into the backend):
+
+        * keys are extracted by the schema's precompiled
+          :attr:`~repro.cassdb.schema.TableSchema.row_extractor`;
+        * rows are grouped by replica set, each group sorted by
+          partition key and applied with **one** stripe-lock
+          acquisition, one ``TableStore`` lock per replica, and one
+          hint-buffer extend per down replica;
+        * the table epoch is bumped **once** for the whole batch (the
+          server's result cache sees one invalidation, not one per row);
+        * one ``cassdb.write_batch`` trace span and one set of
+          ``cassdb.write.batch_*`` observations cover the call.
+
+        Like Cassandra's unlogged ``BATCH``, atomicity is per replica-set
+        group, not across the whole call: if a group fails its
+        availability check (``UnavailableError``), previously applied
+        groups stay applied — and the epoch still advances so caches
+        never serve the partial batch as fresh.
+        """
+        schema = self.schema(table)
+        build = schema.row_builder
+        next_ts = self.next_write_ts
+        n_stripes = len(self._write_locks)
+        # replica-set tuple -> (items, stripe indices touched).  Per-pk
+        # routing (ring lookup + stripe hash) runs once per *distinct*
+        # partition; ``items_of`` jumps straight from pk to the group's
+        # item list for every later row of that partition.
+        groups: dict[tuple[str, ...], tuple[list[tuple[str, Row]], set[int]]] = {}
+        items_of: dict[str, list[tuple[str, Row]]] = {}
+        n = 0
+        for values in rows:
+            pk, row = build(values, next_ts())
+            items = items_of.get(pk)
+            if items is None:
+                replicas = tuple(self.ring.replicas(pk))
+                entry = groups.get(replicas)
+                if entry is None:
+                    entry = groups[replicas] = ([], set())
+                entry[1].add(hash(pk) % n_stripes)
+                items = items_of[pk] = entry[0]
+            items.append((pk, row))
+            n += 1
+        if not n:
+            return 0
+        start = time.perf_counter()
+        applied = 0
+        try:
+            with obs.get_tracer().span(
+                "cassdb.write_batch", table=table, rows=n, groups=len(groups)
+            ):
+                for replicas, (items, stripes) in groups.items():
+                    self._write_group(
+                        table, replicas, items, sorted(stripes), consistency)
+                    applied += len(items)
+        finally:
+            if applied:
+                with self._counter_lock:
+                    self.coordinator_writes += applied
+                self._m_writes.inc(applied)
+                self._bump_epoch(table)
+                self._m_batches.inc()
+                self._m_batch_rows.observe(applied)
+                self._m_batch_groups.observe(len(groups))
+            self._m_write_latency.observe(
+                (time.perf_counter() - start) * 1000.0)
+        return n
+
+    def _write_group(
+        self,
+        table: str,
+        replica_ids: tuple[str, ...],
+        items: list[tuple[str, Row]],
+        stripes: list[int],
+        consistency: Consistency,
+    ) -> None:
+        """Commit one replica-set group of a batch atomically.
+
+        *stripes* is the sorted set of stripe indices the group's
+        partitions hash to (precomputed while grouping); acquiring them
+        in index order keeps lock ordering total across concurrent
+        batches, per-row writes and repair.
+        """
+        required = consistency.required(len(replica_ids))
+        # Sorting by partition key groups same-partition rows into runs
+        # (memtable bulk-upsert locality); write timestamps, not
+        # application order, decide last-write-wins, so this is safe.
+        items.sort(key=itemgetter(0))
+        with contextlib.ExitStack() as stack:
+            for idx in stripes:
+                stack.enter_context(self._write_locks[idx])
+            alive = [r for r in replica_ids if self.nodes[r].up]
+            if len(alive) < required:
+                self._m_consistency_failures.inc()
+                raise UnavailableError(required, len(alive))
+            coordinator = self.nodes[alive[0]]
+            acks = 0
+            hinted = 0
+            for replica_id in replica_ids:
+                replica = self.nodes[replica_id]
+                if replica.up:
+                    replica.write_rows(table, items)
+                    acks += 1
+                else:
+                    coordinator.buffer_hints(
+                        Hint(replica_id, table, pk, row) for pk, row in items
+                    )
+                    hinted += len(items)
+            if hinted:
+                with self._counter_lock:
+                    self.hinted_writes += hinted
+                self._m_hints_buffered.inc(hinted)
+            if acks < required:  # pragma: no cover - guarded above
+                self._m_consistency_failures.inc()
+                raise WriteTimeoutError(required, acks)
 
     # -- read path ------------------------------------------------------------
 
@@ -587,7 +756,7 @@ class Cluster:
         Unlike read repair this covers data nobody has queried —
         Cassandra's ``nodetool repair``.
         """
-        with self._op_lock:
+        with self._all_write_locks():
             repaired = 0
             for pk in sorted(self.partition_keys(table)):
                 replicas = [

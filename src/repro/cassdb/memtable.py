@@ -31,23 +31,28 @@ class MemPartition:
         self._sorted_keys: list[tuple] = []
         self._dirty = False
 
-    def upsert(self, row: Row) -> None:
-        existing = self.rows.get(row.clustering)
+    def upsert(self, row: Row) -> int:
+        """Insert/merge one row; returns the row-count delta (0 or 1)."""
+        rows = self.rows
+        existing = rows.get(row.clustering)
         if existing is None:
-            self.rows[row.clustering] = row
+            rows[row.clustering] = row
             self._dirty = True
-        else:
-            self.rows[row.clustering] = merge_rows(existing, row)
+            return 1
+        rows[row.clustering] = merge_rows(existing, row)
+        return 0
 
-    def delete(self, clustering: tuple, tombstone_ts: int) -> None:
-        """Write a row tombstone (deletes survive flush/merge)."""
+    def delete(self, clustering: tuple, tombstone_ts: int) -> int:
+        """Write a row tombstone (deletes survive flush/merge); returns
+        the row-count delta (0 or 1 — tombstones are buffered rows)."""
         marker = Row(clustering=clustering, cells={}, tombstone_ts=tombstone_ts)
         existing = self.rows.get(clustering)
         if existing is None:
             self.rows[clustering] = marker
             self._dirty = True
-        else:
-            self.rows[clustering] = merge_rows(existing, marker)
+            return 1
+        self.rows[clustering] = merge_rows(existing, marker)
+        return 0
 
     def sorted_keys(self) -> list[tuple]:
         if self._dirty or len(self._sorted_keys) != len(self.rows):
@@ -73,17 +78,34 @@ class Memtable:
         part = self.partitions.get(partition_key)
         if part is None:
             part = self.partitions[partition_key] = MemPartition()
-        before = len(part)
-        part.upsert(row)
-        self._row_count += len(part) - before
+        self._row_count += part.upsert(row)
+
+    def upsert_many(self, items: Iterable[tuple[str, Row]]) -> None:
+        """Bulk upsert of ``(partition key, row)`` pairs.
+
+        One method call for a whole write-batch group; the per-pair work
+        is the same as :meth:`upsert` with the partition lookup hoisted
+        for runs of pairs sharing a key (batched ingest writes whole
+        per-(hour, type) groups at once, pre-sorted by partition key).
+        """
+        partitions = self.partitions
+        last_key: str | None = None
+        part: MemPartition | None = None
+        count = 0
+        for partition_key, row in items:
+            if partition_key != last_key:
+                part = partitions.get(partition_key)
+                if part is None:
+                    part = partitions[partition_key] = MemPartition()
+                last_key = partition_key
+            count += part.upsert(row)
+        self._row_count += count
 
     def delete(self, partition_key: str, clustering: tuple, tombstone_ts: int) -> None:
         part = self.partitions.get(partition_key)
         if part is None:
             part = self.partitions[partition_key] = MemPartition()
-        before = len(part)
-        part.delete(clustering, tombstone_ts)
-        self._row_count += len(part) - before
+        self._row_count += part.delete(clustering, tombstone_ts)
 
     def get_partition(self, partition_key: str) -> MemPartition | None:
         return self.partitions.get(partition_key)

@@ -11,7 +11,7 @@ must replay to peers that were down (hinted handoff).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro import obs
 
@@ -88,6 +88,15 @@ class StorageNode:
                                    table=table):
             self.ensure_table(table).write(partition_key, row)
 
+    def write_rows(self, table: str, items: Sequence[tuple[str, Row]]) -> None:
+        """Apply a write-batch group: one table lookup, one store-lock
+        acquisition and one trace span for the whole group."""
+        self._check_up()
+        _M_NODE_WRITES.inc(len(items))
+        with obs.get_tracer().span("cassdb.node.write_rows", node=self.node_id,
+                                   table=table, rows=len(items)):
+            self.ensure_table(table).write_rows(items)
+
     def delete(self, table: str, partition_key: str, clustering: tuple,
                tombstone_ts: int) -> None:
         self._check_up()
@@ -124,6 +133,10 @@ class StorageNode:
 
     def buffer_hint(self, hint: Hint) -> None:
         self.hints.append(hint)
+
+    def buffer_hints(self, hints: Iterable[Hint]) -> None:
+        """Buffer a write-batch group's hints for one down replica."""
+        self.hints.extend(hints)
 
     def drain_hints_for(self, target_node: str) -> Iterator[Hint]:
         """Pop and yield buffered hints destined for *target_node*."""

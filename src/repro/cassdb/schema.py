@@ -17,9 +17,12 @@ fields need no migration (the "Flexibility" design consideration of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+from operator import itemgetter
 from typing import Any, Callable, Mapping, Sequence
 
 from .errors import SchemaError
+from .row import Cell, Row
 
 __all__ = ["TableSchema", "Keyspace"]
 
@@ -108,6 +111,104 @@ class TableSchema:
                 )
             out.append(values[col])
         return tuple(out)
+
+    @cached_property
+    def row_extractor(
+        self,
+    ) -> Callable[[Mapping[str, Any]], tuple[str, tuple, dict[str, Any]]]:
+        """Precompiled ``values -> (ring key, clustering, regular cells)``.
+
+        The batched write path calls this once per row, so the column
+        tuples, key-column set and separator are bound into the closure
+        up front instead of being re-derived from the schema on every
+        call (``partition_key_of`` + ``clustering_of`` +
+        ``regular_columns`` re-walk the schema each time).  Semantics
+        are identical, including the :class:`SchemaError` on a missing
+        key column.
+
+        (``cached_property`` writes straight into ``__dict__``, which a
+        frozen dataclass permits — only ``__setattr__`` is blocked.)
+        """
+        name = self.name
+        pk_cols = self.partition_key
+        ck_cols = self.clustering_key
+        key_cols = frozenset(pk_cols) | frozenset(ck_cols)
+        sep = _KEY_SEPARATOR
+        prefix = name + sep
+        # itemgetter runs the column lookups in C; arity 1 returns a
+        # bare value, 2+ a tuple, hence the three shapes below.
+        pk_get = itemgetter(*pk_cols)
+        single_pk = len(pk_cols) == 1
+        ck_get = itemgetter(*ck_cols) if ck_cols else None
+        single_ck = len(ck_cols) == 1
+
+        def extract(values: Mapping[str, Any]):
+            try:
+                if single_pk:
+                    pk = prefix + str(pk_get(values))
+                else:
+                    pk = prefix + sep.join(map(str, pk_get(values)))
+                if ck_get is None:
+                    clustering: tuple = ()
+                elif single_ck:
+                    clustering = (ck_get(values),)
+                else:
+                    clustering = ck_get(values)
+            except KeyError as exc:
+                raise SchemaError(
+                    f"table {name!r}: missing key column {exc.args[0]!r}"
+                ) from None
+            cells = {k: v for k, v in values.items() if k not in key_cols}
+            return pk, clustering, cells
+
+        return extract
+
+    @cached_property
+    def row_builder(
+        self,
+    ) -> Callable[[Mapping[str, Any], int], tuple[str, Row]]:
+        """Precompiled ``(values, write_ts) -> (ring key, Row)``.
+
+        One step further than :attr:`row_extractor`: the non-key columns
+        go straight into :class:`~repro.cassdb.row.Cell` objects in a
+        single comprehension, skipping the intermediate plain-dict the
+        extractor returns.  This is the per-row unit of work on the hot
+        write path (``insert`` and ``write_batch``).
+        """
+        name = self.name
+        pk_cols = self.partition_key
+        ck_cols = self.clustering_key
+        key_cols = frozenset(pk_cols) | frozenset(ck_cols)
+        sep = _KEY_SEPARATOR
+        prefix = name + sep
+        pk_get = itemgetter(*pk_cols)
+        single_pk = len(pk_cols) == 1
+        ck_get = itemgetter(*ck_cols) if ck_cols else None
+        single_ck = len(ck_cols) == 1
+
+        def build(values: Mapping[str, Any], write_ts: int) -> tuple[str, Row]:
+            try:
+                if single_pk:
+                    pk = prefix + str(pk_get(values))
+                else:
+                    pk = prefix + sep.join(map(str, pk_get(values)))
+                if ck_get is None:
+                    clustering: tuple = ()
+                elif single_ck:
+                    clustering = (ck_get(values),)
+                else:
+                    clustering = ck_get(values)
+            except KeyError as exc:
+                raise SchemaError(
+                    f"table {name!r}: missing key column {exc.args[0]!r}"
+                ) from None
+            cells = {
+                k: Cell(v, write_ts)
+                for k, v in values.items() if k not in key_cols
+            }
+            return pk, Row(clustering=clustering, cells=cells)
+
+        return build
 
     def regular_columns(self, values: Mapping[str, Any]) -> dict[str, Any]:
         """The non-key columns of a row (stored as cells)."""

@@ -3,14 +3,22 @@
 Ties together the write path (memtable → flush → SSTables → compaction)
 and the read path (newest-to-oldest merge across memtable and SSTables,
 then a clustering-range scan).  One :class:`TableStore` exists per table
-per storage node; it is single-writer from the node's point of view,
-matching the simulated cluster's per-node execution model.
+per storage node.
+
+Concurrency model: the store lock guards *pointer swaps* (memtable
+upserts, sealing a memtable, publishing an SSTable), never bulk work.
+A flush seals the active memtable under the lock — an O(1) swap onto
+the ``frozen`` list — and builds the SSTable outside it, so concurrent
+writers keep committing into the fresh memtable and readers keep seeing
+the sealed rows (via ``frozen``) while the build runs.  Compaction
+merges a snapshot of the runs outside the lock the same way.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro import obs
 
@@ -60,10 +68,14 @@ class TableStore:
     flush_threshold: int = 50_000
     max_sstables: int = 8
     memtable: Memtable = field(default_factory=Memtable)
+    # Sealed memtables whose SSTable build is in flight; readers treat
+    # them as sources so pre-flush rows stay visible during the build.
+    frozen: list[Memtable] = field(default_factory=list)
     sstables: list[SSTable] = field(default_factory=list)
     stats: StoreStats = field(default_factory=StoreStats)
-    # Guards memtable/sstable swaps against the coordinator's parallel
-    # replica reads; merge work happens outside it, on a snapshot.
+    # Guards pointer swaps (memtable upserts, seal/publish) against the
+    # coordinator's parallel replica reads; flush/compaction merge work
+    # happens outside it, on sealed snapshots.
     lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     # -- write path -----------------------------------------------------
@@ -72,41 +84,94 @@ class TableStore:
         with self.lock:
             self.memtable.upsert(partition_key, row)
             self.stats.writes += 1
-            if self.memtable.row_count >= self.flush_threshold:
-                self.flush()
+            sealed = self._maybe_seal_locked()
+        if sealed is not None:
+            self._build_sstable(sealed)
+
+    def write_rows(self, items: Sequence[tuple[str, Row]]) -> None:
+        """Apply a write-batch group: one lock acquisition for all rows.
+
+        The batched coordinator path lands here — the store lock is
+        taken once per group instead of once per row, and the flush
+        check runs once after the group (the memtable may overshoot the
+        threshold by up to one group; the next group flushes it).
+        """
+        with self.lock:
+            self.memtable.upsert_many(items)
+            self.stats.writes += len(items)
+            sealed = self._maybe_seal_locked()
+        if sealed is not None:
+            self._build_sstable(sealed)
 
     def delete(self, partition_key: str, clustering: tuple, tombstone_ts: int) -> None:
         with self.lock:
             self.memtable.delete(partition_key, clustering, tombstone_ts)
             self.stats.writes += 1
-            if self.memtable.row_count >= self.flush_threshold:
-                self.flush()
+            sealed = self._maybe_seal_locked()
+        if sealed is not None:
+            self._build_sstable(sealed)
+
+    def _maybe_seal_locked(self) -> Memtable | None:
+        if self.memtable.row_count >= self.flush_threshold:
+            return self._seal_locked()
+        return None
+
+    def _seal_locked(self) -> Memtable | None:
+        """Swap the active memtable onto the frozen list (O(1), under
+        lock).  Returns the sealed memtable, or None when empty."""
+        if not self.memtable.row_count:
+            return None
+        sealed = self.memtable
+        self.frozen.append(sealed)
+        self.memtable = Memtable()
+        return sealed
+
+    def _build_sstable(self, sealed: Memtable) -> None:
+        """Build and publish the SSTable for a sealed memtable.
+
+        Runs *outside* the store lock: writers commit to the fresh
+        memtable and readers see the sealed rows via ``frozen`` for the
+        duration of the build.  Only the publish (swap frozen → run) is
+        locked.
+        """
+        flushed_rows = sealed.row_count
+        with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
+            sst = SSTable.from_memtable(sealed)
+        with self.lock:
+            self.frozen.remove(sealed)
+            self.sstables.append(sst)
+            self.stats.flushes += 1
+            need_compact = len(self.sstables) > self.max_sstables
+        _M_FLUSHES.inc()
+        _M_FLUSHED_ROWS.observe(flushed_rows)
+        if need_compact:
+            self.compact()
 
     def flush(self) -> None:
         """Freeze the memtable into a new SSTable (no-op when empty)."""
         with self.lock:
-            if not self.memtable.row_count:
-                return
-            flushed_rows = self.memtable.row_count
-            with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
-                self.sstables.append(SSTable.from_memtable(self.memtable))
-                self.memtable = Memtable()
-            self.stats.flushes += 1
-            _M_FLUSHES.inc()
-            _M_FLUSHED_ROWS.observe(flushed_rows)
-            if len(self.sstables) > self.max_sstables:
-                self.compact()
+            sealed = self._seal_locked()
+        if sealed is not None:
+            self._build_sstable(sealed)
 
     def compact(self) -> None:
-        """Merge all runs into one, dropping shadowed data and tombstones."""
+        """Merge all runs into one, dropping shadowed data and tombstones.
+
+        The merge runs on a snapshot outside the lock; runs flushed
+        while it was merging are kept alongside the merged result.
+        """
         with self.lock:
-            if len(self.sstables) <= 1:
-                return
-            with obs.get_tracer().span("cassdb.store.compact",
-                                       runs=len(self.sstables)):
-                self.sstables = [merge_sstables(self.sstables)]
+            runs = list(self.sstables)
+        if len(runs) <= 1:
+            return
+        with obs.get_tracer().span("cassdb.store.compact", runs=len(runs)):
+            merged = merge_sstables(runs)
+        with self.lock:
+            if self.sstables[:len(runs)] != runs:
+                return  # lost the race to a concurrent compaction
+            self.sstables = [merged] + self.sstables[len(runs):]
             self.stats.compactions += 1
-            _M_COMPACTIONS.inc()
+        _M_COMPACTIONS.inc()
 
     # -- read path ------------------------------------------------------
 
@@ -125,13 +190,17 @@ class TableStore:
         *pruned* before any merge work — then the slices k-way heap-merge
         (duplicates reconciled by cell timestamp, tombstoned rows
         dropped) with early termination once *limit* live rows exist.
+        Sealed memtables awaiting their SSTable build count as sources,
+        so an in-flight flush never hides rows.
         """
         sources: list[list[Row]] = []
         pruned = 0
         with self.lock:
             self.stats.reads += 1
-            mem_part = self.memtable.get_partition(partition_key)
-            if mem_part is not None:
+            for mem in (self.memtable, *self.frozen):
+                mem_part = mem.get_partition(partition_key)
+                if mem_part is None:
+                    continue
                 rows = mem_part.sorted_rows()
                 lo, hi = slice_bounds(rows, lower, upper)
                 pruned += len(rows) - (hi - lo)
@@ -162,6 +231,8 @@ class TableStore:
         """Every partition key present on this node (memtable + runs)."""
         with self.lock:
             keys = set(self.memtable.partition_keys())
+            for mem in self.frozen:
+                keys.update(mem.partition_keys())
             for sst in self.sstables:
                 keys.update(sst.partition_keys())
             return keys
@@ -170,4 +241,8 @@ class TableStore:
     def row_count(self) -> int:
         """Approximate row count (duplicates across runs counted once each)."""
         with self.lock:
-            return self.memtable.row_count + sum(len(s) for s in self.sstables)
+            return (
+                self.memtable.row_count
+                + sum(m.row_count for m in self.frozen)
+                + sum(len(s) for s in self.sstables)
+            )

@@ -10,7 +10,10 @@ statement, params)``.  Two staleness mechanisms compose:
 * **epoch validation** — each entry records the backend's per-table
   write epoch at fill time; a lookup whose epoch no longer matches is
   treated as a miss, which catches writes that bypass the server
-  (batch/streaming ingestion straight into the cluster);
+  (batch/streaming ingestion straight into the cluster).  The epoch
+  advances once per *commit* — a whole ``Cluster.write_batch`` bumps it
+  once, and a failed (Unavailable) write not at all — so a micro-batch
+  of 10k rows costs one invalidation, not 10k;
 
 plus a TTL backstop for anything neither mechanism sees.  All state is
 bounded (LRU beyond ``max_entries``) and every outcome is counted in

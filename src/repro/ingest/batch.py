@@ -136,6 +136,7 @@ def _batch_ingest_traced(sc: "SparkletContext", paths: Sequence[str],
     parsed_acc = sc.accumulator(0)
     unparsed_acc = sc.accumulator(0)
     lines_acc = sc.accumulator(0)
+    written_acc = sc.accumulator(0)
 
     def parse_partition(lines):
         parser = default_parser()  # one parser per task, no shared state
@@ -145,11 +146,23 @@ def _batch_ingest_traced(sc: "SparkletContext", paths: Sequence[str],
         unparsed_acc.add(parser.unparsed)
         return out
 
+    def sink_partition(events):
+        # Sink-side batching: each task hands its whole partition to the
+        # sink as one batch (one Cluster.write_batch per table for the
+        # model sink) instead of funnelling everything through a single
+        # driver-side collect() + write.  Tasks run concurrently; the
+        # batched sink contract requires that to be safe.  Sorting keeps
+        # per-batch write order deterministic.
+        batch = sorted(events, key=lambda e: (e.ts, e.type, e.component))
+        if batch:
+            written_acc.add(sink.write_events(batch))
+        return ()
+
     rdds = [sc.textFile(p, min_partitions) for p in paths]
     events_rdd = sc.union(rdds).mapPartitions(parse_partition)
 
     if coalesce_seconds:
-        merged = (
+        events_rdd = (
             events_rdd
             .map(lambda e: (
                 (e.type, e.component, int(e.ts // coalesce_seconds)), e))
@@ -159,15 +172,12 @@ def _batch_ingest_traced(sc: "SparkletContext", paths: Sequence[str],
                 raw=a.raw))
             .values()
         )
-        events = sorted(merged.collect(),
-                        key=lambda e: (e.ts, e.type, e.component))
-    else:
-        events = events_rdd.collect()
+    events_rdd.mapPartitions(sink_partition).collect()
 
     stats = IngestStats(
         lines=lines_acc.value,
         parsed=parsed_acc.value,
         unparsed=unparsed_acc.value,
     )
-    stats.written = sink.write_events(events)
+    stats.written = written_acc.value
     return stats

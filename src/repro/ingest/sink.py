@@ -15,10 +15,24 @@ __all__ = ["EventSink", "ListSink"]
 
 @runtime_checkable
 class EventSink(Protocol):
-    """Anything that can persist a batch of structured events."""
+    """Anything that can persist a batch of structured events.
+
+    Batched contract
+    ----------------
+    ``write_events`` receives one *batch* — everything an ETL task or a
+    streaming window produced — and is expected to persist it as a
+    batch, not row by row (the model sink turns one call into one
+    ``Cluster.write_batch`` per table).  Implementations must:
+
+    * accept any iterable and consume it at most once;
+    * return the number of events actually persisted *by this call*
+      (coalescing happens upstream, so normally ``len(batch)``);
+    * tolerate concurrent calls from parallel pipeline tasks — the
+      engine's per-partition sink writes overlap.
+    """
 
     def write_events(self, events: Iterable) -> int:
-        """Persist events; returns the number written."""
+        """Persist one batch of events; returns the number written."""
         ...  # pragma: no cover
 
 
@@ -29,8 +43,9 @@ class ListSink:
         self.events: list = []
 
     def write_events(self, events: Iterable) -> int:
-        n = 0
-        for event in events:
-            self.events.append(event)
-            n += 1
-        return n
+        # One extend per batch (the batched sink contract); the return
+        # value is this call's delta, correct even when parallel tasks
+        # interleave because list.extend is atomic under the GIL.
+        batch = list(events)
+        self.events.extend(batch)
+        return len(batch)

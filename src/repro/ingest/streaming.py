@@ -113,13 +113,21 @@ class StreamingIngestor:
         coalesced.foreachRDD(self._write_batch)
 
     def _write_batch(self, rdd) -> None:
+        # One streaming window -> one sink batch (the batched sink
+        # contract): the model sink turns this into one
+        # Cluster.write_batch per table, so a 1 s window costs one
+        # epoch bump and one group-lock round instead of per-row locks.
         events = sorted(rdd.collect(), key=lambda e: (e.ts, e.type,
                                                       e.component))
         if events:
             written = self.sink.write_events(events)
             self.stats.written += written
-            obs.get_registry().counter(
+            registry = obs.get_registry()
+            registry.counter(
                 "ingest.records_written", mode="stream").inc(written)
+            registry.histogram(
+                "ingest.stream.batch_rows",
+                buckets=(10, 100, 1000, 10_000)).observe(written)
 
     def process_available(self, max_records: int = 100_000) -> int:
         """Poll, run every complete batch, commit.  Returns events polled.

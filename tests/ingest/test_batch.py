@@ -63,6 +63,24 @@ class TestCoalesceEvents:
         assert [e.ts for e in merged] == [1.0, 5.0, 9.0]
 
 
+class TestListSink:
+    def test_returns_delta_not_total(self):
+        sink = ListSink()
+        assert sink.write_events([_ev(1.0), _ev(2.0)]) == 2
+        assert sink.write_events([_ev(3.0)]) == 1
+        assert len(sink.events) == 3
+
+    def test_consumes_generators(self):
+        sink = ListSink()
+        assert sink.write_events(_ev(float(i)) for i in range(5)) == 5
+        assert [e.ts for e in sink.events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_batch(self):
+        sink = ListSink()
+        assert sink.write_events([]) == 0
+        assert sink.events == []
+
+
 class TestSerialIngest:
     def test_counts(self, corpus):
         events, paths = corpus
