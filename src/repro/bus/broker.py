@@ -91,6 +91,9 @@ class MessageBus:
         # (group, topic, partition) -> committed offset
         self._offsets: dict[tuple[str, str, int], int] = {}
         self._lock = threading.RLock()
+        # Chaos injection point (repro.chaos FaultGate); None — the
+        # permanent default — costs one attribute check per op.
+        self.chaos_gate = None
 
     # -- topic management -------------------------------------------------
 
@@ -121,16 +124,31 @@ class MessageBus:
 
     def publish(self, topic: str, value: Any, key: str | None = None,
                 timestamp: float = 0.0) -> Record:
+        copies = 1
         with self._lock:
-            record = self.topic(topic).append(key, value, timestamp)
-        _M_PUBLISHED.inc()
-        _G_QUEUE_DEPTH.inc()
+            t = self.topic(topic)
+            record = t.append(key, value, timestamp)
+            gate = self.chaos_gate
+            if gate is not None:
+                # Producer-retry duplicates: the same payload appended
+                # again (consumers must dedup by key/content).
+                for _ in range(gate.on_publish(topic)):
+                    t.append(key, value, timestamp)
+                    copies += 1
+        _M_PUBLISHED.inc(copies)
+        _G_QUEUE_DEPTH.inc(copies)
         return record
 
     def fetch(self, topic: str, partition: int, offset: int,
               max_records: int = 1000) -> list[Record]:
         with self._lock:
             records = self.topic(topic).read(partition, offset, max_records)
+        gate = self.chaos_gate
+        if records and gate is not None and gate.on_fetch(topic, partition):
+            # Delivery dropped in the "network".  The log and committed
+            # offsets are untouched, so the consumer re-fetches from the
+            # same offset: at-least-once, never a lost record.
+            return []
         _M_FETCHED.inc(len(records))
         return records
 

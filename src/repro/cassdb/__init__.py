@@ -25,6 +25,8 @@ Quick use::
 from .bloom import BloomFilter
 from .cluster import Cluster, Consistency
 from .errors import (
+    BatchUnavailableError,
+    BatchWriteTimeoutError,
     CassDBError,
     InvalidQueryError,
     NodeDownError,
@@ -36,13 +38,18 @@ from .errors import (
 from .gossip import GossipRunner, HeartbeatHistory, PhiAccrualDetector
 from .hashring import HashRing, token_for_key
 from .query import Session, normalize_cql, parse_statement
+from .resilience import BreakerState, CircuitBreaker, RetryPolicy
 from .row import Cell, ClusteringBound, Row, merge_rows
 from .schema import Keyspace, TableSchema
 
 __all__ = [
+    "BatchUnavailableError",
+    "BatchWriteTimeoutError",
     "BloomFilter",
+    "BreakerState",
     "CassDBError",
     "Cell",
+    "CircuitBreaker",
     "Cluster",
     "ClusteringBound",
     "Consistency",
@@ -54,6 +61,7 @@ __all__ = [
     "Keyspace",
     "NodeDownError",
     "ReadTimeoutError",
+    "RetryPolicy",
     "Row",
     "SchemaError",
     "Session",

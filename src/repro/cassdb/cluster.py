@@ -24,16 +24,19 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import itertools
+import random
 import threading
 import time
 from operator import itemgetter
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed, wait
 from enum import Enum
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro import obs
 
 from .errors import (
+    BatchUnavailableError,
+    BatchWriteTimeoutError,
     NodeDownError,
     ReadTimeoutError,
     SchemaError,
@@ -42,6 +45,7 @@ from .errors import (
 )
 from .hashring import HashRing
 from .node import Hint, StorageNode
+from .resilience import CircuitBreaker, RetryPolicy
 from .row import ClusteringBound, Row, merge_rows
 from .schema import Keyspace, TableSchema
 
@@ -88,6 +92,7 @@ class Cluster:
         flush_threshold: int = 50_000,
         max_sstables: int = 8,
         write_stripes: int = DEFAULT_WRITE_STRIPES,
+        retry_policy: RetryPolicy | None = None,
     ):
         if isinstance(node_ids, int):
             node_ids = [f"node{i:02d}" for i in range(node_ids)]
@@ -159,6 +164,33 @@ class Cluster:
             "cassdb.write.batch_rows", buckets=(10, 100, 1000, 10_000))
         self._m_batch_groups = registry.histogram(
             "cassdb.write.batch_groups", buckets=(1, 2, 4, 8, 16))
+        # Resilience hardening (PR 4).  With retry_policy=None every new
+        # code path is skipped — the pre-hardening coordinator exactly.
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(
+            retry_policy.seed if retry_policy else 0)
+        self._retry_lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        if retry_policy is not None and retry_policy.breaker_failures > 0:
+            self._breakers = {
+                nid: CircuitBreaker(
+                    failure_threshold=retry_policy.breaker_failures,
+                    cooldown_s=retry_policy.breaker_cooldown_s,
+                )
+                for nid in node_ids
+            }
+        # Chaos injection point: a FaultGate armed by repro.chaos, or
+        # None (the permanent default: one attribute check per op).
+        self.chaos_gate = None
+        self._m_read_retries = registry.counter("cassdb.retry.read_retries")
+        self._m_write_retries = registry.counter("cassdb.retry.write_retries")
+        self._m_retry_exhausted = registry.counter("cassdb.retry.exhausted")
+        self._m_spec_reads = registry.counter(
+            "cassdb.retry.speculative_reads")
+        self._m_spec_wins = registry.counter("cassdb.retry.speculative_wins")
+        self._m_breaker_opens = registry.counter("cassdb.breaker.opens")
+        self._m_breaker_skips = registry.counter(
+            "cassdb.breaker.skipped_targets")
 
     # -- scatter-gather pools ----------------------------------------------
 
@@ -211,19 +243,93 @@ class Cluster:
         return [nid for nid, n in self.nodes.items() if n.up]
 
     def kill_node(self, node_id: str) -> None:
-        """Simulate a node failure (data retained, requests refused)."""
+        """Explicit node failure: process dead *and* cluster-visible
+        (data retained, requests refused, hint buffering starts now)."""
         self.nodes[node_id].mark_down()
 
+    def crash_node(self, node_id: str) -> None:
+        """The node's process dies silently — it stops answering (and,
+        under gossip, stops heartbeating), but coordinators keep routing
+        to it until a failure detector convicts it.  Writes that reach
+        it in the window are hinted by the coordinator."""
+        self.nodes[node_id].crash()
+
+    def convict_node(self, node_id: str) -> None:
+        """Failure-detector conviction: routing stops, hints buffer —
+        the same single source of truth an explicit kill flips."""
+        self.nodes[node_id].convict()
+
+    def recover_node(self, node_id: str) -> None:
+        """The process restarts.  Routing liveness (and hint replay)
+        waits for :meth:`revive_node` — under gossip, rehabilitation
+        calls it once fresh heartbeats pull phi back down."""
+        self.nodes[node_id].recover_process()
+
     def revive_node(self, node_id: str) -> None:
-        """Bring a node back and replay hints buffered for it cluster-wide."""
+        """Bring a node back and replay hints both ways: hints buffered
+        *for* it cluster-wide, and hints *it* buffered (as a coordinator)
+        whose targets have since come back.  Peers that are still down
+        keep their buffers until their own revival — so any revival
+        order converges without anti-entropy repair."""
         node = self.nodes[node_id]
         node.mark_up()
-        for peer in self.nodes.values():
+        for peer_id, peer in self.nodes.items():
             if peer is node or not peer.up:
                 continue
             for hint in peer.drain_hints_for(node_id):
                 node.write(hint.table, hint.partition_key, hint.row)
                 self._m_hints_replayed.inc()
+            for hint in node.drain_hints_for(peer_id):
+                peer.write(hint.table, hint.partition_key, hint.row)
+                self._m_hints_replayed.inc()
+
+    def _replica_up(self, node_id: str) -> bool:
+        """Routing liveness as the coordinator sees it, including any
+        chaos-gate flap window currently suppressing the replica."""
+        if not self.nodes[node_id].up:
+            return False
+        gate = self.chaos_gate
+        return gate is None or not gate.replica_down(node_id)
+
+    # -- circuit breakers ---------------------------------------------------
+
+    def breaker(self, node_id: str) -> CircuitBreaker | None:
+        """The replica's circuit breaker (None when breakers are off)."""
+        return self._breakers.get(node_id)
+
+    def _breaker_success(self, node_id: str) -> None:
+        if self._breakers:
+            self._breakers[node_id].record_success()
+
+    def _breaker_failure(self, node_id: str) -> None:
+        if self._breakers:
+            if self._breakers[node_id].record_failure():
+                self._m_breaker_opens.inc()
+
+    def _read_targets(
+        self, alive: list[str], required: int
+    ) -> tuple[list[str], list[str]]:
+        """Pick read targets among *alive* replicas, breaker-aware.
+
+        Replicas whose breaker is OPEN are deprioritized — they are only
+        read when too few healthy replicas remain to meet *required*.
+        Returns ``(targets, spares)``; spares are the healthy overflow
+        available for speculative (hedged) reads.
+        """
+        if not self._breakers:
+            return alive[:required], alive[required:]
+        healthy = []
+        broken = []
+        for rid in alive:
+            (healthy if self._breakers[rid].allow() else broken).append(rid)
+        if len(healthy) < required:
+            # Not enough healthy replicas: route through open breakers
+            # too rather than fail the read outright.
+            healthy = healthy + broken
+            broken = []
+        elif broken:
+            self._m_breaker_skips.inc(len(broken))
+        return healthy[:required], healthy[required:]
 
     # -- write path ---------------------------------------------------------
 
@@ -297,6 +403,41 @@ class Cluster:
         with self._epoch_lock:
             return self._table_epochs.get(table, 0)
 
+    def _retrying(self, kind: str, fn):
+        """Run *fn* under the retry policy (or once, with no policy).
+
+        Retries coordinator-level failures with exponential backoff and
+        seeded jitter, within ``max_attempts`` and the per-operation
+        ``request_timeout_ms`` budget.  Re-applying a write is safe —
+        rows carry their write timestamp, so replays are idempotent
+        under last-write-wins.
+        """
+        policy = self.retry_policy
+        if policy is None:
+            return fn()
+        retries = (self._m_write_retries if kind == "write"
+                   else self._m_read_retries)
+        start = time.perf_counter()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except (UnavailableError, WriteTimeoutError, ReadTimeoutError,
+                    NodeDownError):
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                if attempt >= policy.max_attempts or (
+                    policy.request_timeout_ms is not None
+                    and elapsed_ms >= policy.request_timeout_ms
+                ):
+                    self._m_retry_exhausted.inc()
+                    raise
+                with self._retry_lock:
+                    delay_ms = policy.delay_ms(attempt, self._retry_rng)
+                retries.inc()
+                if delay_ms > 0:
+                    time.sleep(delay_ms / 1000.0)
+                attempt += 1
+
     def _replicated_write(
         self, table: str, partition_key: str, row: Row, consistency: Consistency
     ) -> None:
@@ -304,9 +445,15 @@ class Cluster:
         with obs.get_tracer().span(
             "cassdb.write", table=table, partition=partition_key
         ):
-            with self._write_locks[self._stripe_index(partition_key)]:
-                self._replicated_write_locked(
-                    table, partition_key, row, consistency)
+            def attempt() -> None:
+                gate = self.chaos_gate
+                if gate is not None:
+                    gate.on_coordinator_op(self)
+                with self._write_locks[self._stripe_index(partition_key)]:
+                    self._replicated_write_locked(
+                        table, partition_key, row, consistency)
+
+            self._retrying("write", attempt)
         self._m_write_latency.observe((time.perf_counter() - start) * 1000.0)
 
     def _replicated_write_locked(
@@ -314,7 +461,7 @@ class Cluster:
     ) -> None:
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
-        alive = [r for r in replicas if self.nodes[r].up]
+        alive = [r for r in replicas if self._replica_up(r)]
         if len(alive) < required:
             # Nothing was applied: counters, the table epoch and the
             # layered result caches must stay untouched.
@@ -324,18 +471,29 @@ class Cluster:
         acks = 0
         for replica_id in replicas:
             replica = self.nodes[replica_id]
-            if replica.up:
-                replica.write(table, partition_key, row)
-                acks += 1
-            else:
-                coordinator.buffer_hint(
-                    Hint(replica_id, table, partition_key, row)
-                )
-                with self._counter_lock:
-                    self.hinted_writes += 1
-                self._m_hints_buffered.inc()
-        if acks < required:  # pragma: no cover - guarded by Unavailable above
+            if self._replica_up(replica_id):
+                try:
+                    replica.write(table, partition_key, row)
+                except NodeDownError:
+                    # Crashed but not yet convicted: no ack, hint it.
+                    self._breaker_failure(replica_id)
+                else:
+                    self._breaker_success(replica_id)
+                    acks += 1
+                    continue
+            coordinator.buffer_hint(
+                Hint(replica_id, table, partition_key, row)
+            )
+            with self._counter_lock:
+                self.hinted_writes += 1
+            self._m_hints_buffered.inc()
+        if acks < required:
+            # Some replicas may have applied the row: the epoch must
+            # advance so layered caches drop what is now stale — but the
+            # success counters stay untouched.
             self._m_consistency_failures.inc()
+            if acks:
+                self._bump_epoch(table)
             raise WriteTimeoutError(required, acks)
         with self._counter_lock:
             self.coordinator_writes += 1
@@ -399,13 +557,28 @@ class Cluster:
             return 0
         start = time.perf_counter()
         applied = 0
+        gate = self.chaos_gate
+        if gate is not None:
+            gate.on_coordinator_op(self)
         try:
             with obs.get_tracer().span(
                 "cassdb.write_batch", table=table, rows=n, groups=len(groups)
             ):
                 for replicas, (items, stripes) in groups.items():
-                    self._write_group(
-                        table, replicas, items, sorted(stripes), consistency)
+                    ordered = sorted(stripes)
+                    try:
+                        self._retrying("write", lambda: self._write_group(
+                            table, replicas, items, ordered, consistency))
+                    except UnavailableError as exc:
+                        raise BatchUnavailableError(
+                            exc.required, exc.alive, table=table,
+                            group=replicas, group_rows=len(items),
+                            applied_rows=applied) from exc
+                    except WriteTimeoutError as exc:
+                        raise BatchWriteTimeoutError(
+                            exc.required, exc.received, table=table,
+                            group=replicas, group_rows=len(items),
+                            applied_rows=applied) from exc
                     applied += len(items)
         finally:
             if applied:
@@ -435,6 +608,9 @@ class Cluster:
         in index order keeps lock ordering total across concurrent
         batches, per-row writes and repair.
         """
+        gate = self.chaos_gate
+        if gate is not None:
+            gate.on_coordinator_op(self)
         required = consistency.required(len(replica_ids))
         # Sorting by partition key groups same-partition rows into runs
         # (memtable bulk-upsert locality); write timestamps, not
@@ -443,7 +619,7 @@ class Cluster:
         with contextlib.ExitStack() as stack:
             for idx in stripes:
                 stack.enter_context(self._write_locks[idx])
-            alive = [r for r in replica_ids if self.nodes[r].up]
+            alive = [r for r in replica_ids if self._replica_up(r)]
             if len(alive) < required:
                 self._m_consistency_failures.inc()
                 raise UnavailableError(required, len(alive))
@@ -452,20 +628,28 @@ class Cluster:
             hinted = 0
             for replica_id in replica_ids:
                 replica = self.nodes[replica_id]
-                if replica.up:
-                    replica.write_rows(table, items)
-                    acks += 1
-                else:
-                    coordinator.buffer_hints(
-                        Hint(replica_id, table, pk, row) for pk, row in items
-                    )
-                    hinted += len(items)
+                if self._replica_up(replica_id):
+                    try:
+                        replica.write_rows(table, items)
+                    except NodeDownError:
+                        # Crashed but unconvicted: no ack, hint the group.
+                        self._breaker_failure(replica_id)
+                    else:
+                        self._breaker_success(replica_id)
+                        acks += 1
+                        continue
+                coordinator.buffer_hints(
+                    Hint(replica_id, table, pk, row) for pk, row in items
+                )
+                hinted += len(items)
             if hinted:
                 with self._counter_lock:
                     self.hinted_writes += hinted
                 self._m_hints_buffered.inc(hinted)
-            if acks < required:  # pragma: no cover - guarded above
+            if acks < required:
                 self._m_consistency_failures.inc()
+                if acks:
+                    self._bump_epoch(table)
                 raise WriteTimeoutError(required, acks)
 
     # -- read path ------------------------------------------------------------
@@ -563,10 +747,10 @@ class Cluster:
         with obs.get_tracer().span(
             "cassdb.read", table=table, partition=partition_key
         ) as span:
-            rows = self._coordinate_read(
+            rows = self._retrying("read", lambda: self._coordinate_read(
                 table, partition_key, lower, upper, reverse, limit,
                 consistency,
-            )
+            ))
             span.set(rows=len(rows))
         self._m_read_latency.observe((time.perf_counter() - start) * 1000.0)
         return rows
@@ -584,22 +768,31 @@ class Cluster:
         with self._counter_lock:
             self.coordinator_reads += 1
         self._m_reads.inc()
+        gate = self.chaos_gate
+        if gate is not None:
+            gate.on_coordinator_op(self)
         replicas = self.ring.replicas(partition_key)
         required = consistency.required(len(replicas))
-        alive = [r for r in replicas if self.nodes[r].up]
+        alive = [r for r in replicas if self._replica_up(r)]
         if len(alive) < required:
             self._m_consistency_failures.inc()
             raise UnavailableError(required, len(alive))
+        targets, spares = self._read_targets(alive, required)
         responses: dict[str, list[Row]] = {}
-        targets = alive[:required]
 
         def read_replica(replica_id: str) -> list[Row] | None:
+            g = self.chaos_gate
+            if g is not None:
+                g.before_replica_read(replica_id)
             try:
-                return self.nodes[replica_id].read_partition(
+                rows = self.nodes[replica_id].read_partition(
                     table, partition_key, lower, upper, reverse, limit
                 )
             except NodeDownError:  # raced with a kill; treat as no response
+                self._breaker_failure(replica_id)
                 return None
+            self._breaker_success(replica_id)
+            return rows
 
         if len(targets) == 1:
             rows = read_replica(targets[0])
@@ -611,14 +804,35 @@ class Cluster:
             self._m_parallel_replica_reads.inc()
             pool = self._replica_pool
             futures = {
-                rid: pool.submit(
-                    contextvars.copy_context().run, read_replica, rid)
+                pool.submit(
+                    contextvars.copy_context().run, read_replica, rid): rid
                 for rid in targets
             }
-            for rid, future in futures.items():
+            policy = self.retry_policy
+            threshold = (None if policy is None
+                         else policy.speculative_threshold_ms)
+            hedged: set[str] = set()
+            if threshold is not None and spares:
+                # Speculative retry: replicas still silent past the
+                # threshold each get a hedged duplicate on a spare.
+                _, pending = wait(futures, timeout=threshold / 1000.0)
+                if pending:
+                    for rid in spares[:len(pending)]:
+                        hedged.add(rid)
+                        futures[pool.submit(
+                            contextvars.copy_context().run,
+                            read_replica, rid)] = rid
+                    self._m_spec_reads.inc(len(hedged))
+            for future in as_completed(futures):
+                rid = futures[future]
                 rows = future.result()
-                if rows is not None:
+                if rows is not None and rid not in responses:
                     responses[rid] = rows
+                    if len(responses) >= required:
+                        break
+            for rid in responses:
+                if rid in hedged:
+                    self._m_spec_wins.inc()
         if len(responses) < required:
             self._m_consistency_failures.inc()
             raise ReadTimeoutError(required, len(responses))
@@ -650,7 +864,10 @@ class Cluster:
             for clustering, row in merged.items():
                 stale = have.get(clustering)
                 if stale is None or stale.cells != row.cells:
-                    self.nodes[replica_id].write(table, partition_key, row)
+                    try:
+                        self.nodes[replica_id].write(table, partition_key, row)
+                    except NodeDownError:
+                        continue  # crashed after answering; repair later
                     with self._counter_lock:
                         self.read_repairs += 1
                     self._m_read_repairs.inc()
@@ -674,7 +891,11 @@ class Cluster:
                 node = self.nodes[replica_id]
                 if not node.up:
                     continue
-                for row in node.read_partition(table, pk):
+                try:
+                    rows = node.read_partition(table, pk)
+                except NodeDownError:  # crashed but unconvicted: next replica
+                    continue
+                for row in rows:
                     yield schema.rehydrate(pk_values, row.clustering, row.as_dict())
                 break
 
@@ -721,9 +942,13 @@ class Cluster:
             node = self.nodes[replica_id]
             if not node.up:
                 continue
+            try:
+                rows = node.read_partition(table, partition_key)
+            except NodeDownError:  # crashed but unconvicted: next replica
+                continue
             return [
                 schema.rehydrate(pk_values, r.clustering, r.as_dict())
-                for r in node.read_partition(table, partition_key)
+                for r in rows
             ]
         raise UnavailableError(1, 0)
 
@@ -761,7 +986,7 @@ class Cluster:
             for pk in sorted(self.partition_keys(table)):
                 replicas = [
                     rid for rid in self.ring.replicas(pk)
-                    if self.nodes[rid].up
+                    if self.nodes[rid].up and self.nodes[rid].process_up
                 ]
                 if len(replicas) < 2:
                     continue

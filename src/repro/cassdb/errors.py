@@ -75,3 +75,48 @@ class NodeDownError(CassDBError):
     def __init__(self, node_id: str):
         super().__init__(f"node {node_id} is down")
         self.node_id = node_id
+
+
+class BatchGroupFailure:
+    """Mixin carrying which replica-set group of a ``write_batch`` failed.
+
+    ``write_batch`` commits one replica-set group at a time; when a group
+    cannot meet its consistency level the error must say *which* group
+    (its replica set, its row count) and how many rows of earlier groups
+    were already applied — a partial batch is not a silent drop.
+    """
+
+    table: str
+    group: tuple[str, ...]
+    group_rows: int
+    applied_rows: int
+
+    def _group_context(self, table: str, group: tuple[str, ...],
+                       group_rows: int, applied_rows: int) -> str:
+        self.table = table
+        self.group = group
+        self.group_rows = group_rows
+        self.applied_rows = applied_rows
+        return (f" [batch on {table!r}: group {list(group)} "
+                f"({group_rows} rows) failed; {applied_rows} rows of "
+                f"earlier groups applied]")
+
+
+class BatchUnavailableError(BatchGroupFailure, UnavailableError):
+    """A ``write_batch`` group had too few live replicas to attempt."""
+
+    def __init__(self, required: int, alive: int, *, table: str,
+                 group: tuple[str, ...], group_rows: int, applied_rows: int):
+        UnavailableError.__init__(self, required, alive)
+        self.args = (self.args[0] + self._group_context(
+            table, group, group_rows, applied_rows),)
+
+
+class BatchWriteTimeoutError(BatchGroupFailure, WriteTimeoutError):
+    """A ``write_batch`` group got fewer acks than its consistency needs."""
+
+    def __init__(self, required: int, received: int, *, table: str,
+                 group: tuple[str, ...], group_rows: int, applied_rows: int):
+        WriteTimeoutError.__init__(self, required, received)
+        self.args = (self.args[0] + self._group_context(
+            table, group, group_rows, applied_rows),)

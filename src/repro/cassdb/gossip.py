@@ -105,10 +105,14 @@ class PhiAccrualDetector:
 class GossipRunner:
     """Drives a cluster's liveness flags from simulated heartbeats.
 
-    Every ``interval`` logical seconds each *actually-up* node emits a
-    heartbeat; :meth:`tick` delivers them (unless the node is crashed or
-    the delivery is dropped by the loss model) and then convicts /
-    rehabilitates nodes on the cluster according to phi.
+    Liveness has a single source of truth: the two bits on each
+    :class:`~repro.cassdb.node.StorageNode`.  The runner keeps **no**
+    shadow state — :meth:`crash` flips the node's ``process_up`` bit via
+    the cluster (exactly what an out-of-band ``Cluster.crash_node`` call
+    does), :meth:`tick` emits a heartbeat for every node whose process
+    is up, and phi-driven conviction / rehabilitation flips only the
+    *routing* bit (``convict_node`` / ``revive_node``) — so gossip and
+    explicit kills can interleave without disagreeing.
     """
 
     def __init__(self, cluster: "Cluster", *, interval: float = 1.0,
@@ -126,23 +130,25 @@ class GossipRunner:
         self.loss_rate = loss_rate
         self._rng = random.Random(seed)
         self.now = 0.0
-        self.crashed: set[str] = set()
         self.convictions: list[tuple[str, float]] = []
 
     def crash(self, node_id: str) -> None:
-        """The node stops heartbeating (the cluster doesn't know yet)."""
-        self.crashed.add(node_id)
+        """The node's process dies: it stops heartbeating (and refuses
+        requests), but routing waits for the detector to convict it."""
+        self.cluster.crash_node(node_id)
 
     def recover(self, node_id: str) -> None:
-        self.crashed.discard(node_id)
+        """The process restarts and resumes heartbeating; routing comes
+        back when fresh heartbeats pull phi under the threshold."""
+        self.cluster.recover_node(node_id)
 
     def tick(self, steps: int = 1) -> None:
         """Advance the logical clock by whole heartbeat intervals."""
         for _ in range(steps):
             self.now += self.interval
-            for node_id in self.cluster.nodes:
-                if node_id in self.crashed:
-                    continue
+            for node_id, node in self.cluster.nodes.items():
+                if not node.process_up:
+                    continue  # crashed/killed processes don't heartbeat
                 if self.loss_rate and self._rng.random() < self.loss_rate:
                     continue  # heartbeat lost in the "network"
                 self.detector.heartbeat(node_id, self.now)
@@ -151,10 +157,10 @@ class GossipRunner:
     def _apply_liveness(self) -> None:
         for node_id, node in self.cluster.nodes.items():
             alive = self.detector.is_alive(node_id, self.now)
-            if node.up and not alive:
-                self.cluster.kill_node(node_id)
+            if node.routing_up and not alive:
+                self.cluster.convict_node(node_id)
                 self.convictions.append((node_id, self.now))
-            elif not node.up and alive and node_id not in self.crashed:
+            elif not node.routing_up and alive and node.process_up:
                 # Fresh heartbeats rehabilitate: replay hints via the
                 # cluster's normal revive path.
                 self.cluster.revive_node(node_id)

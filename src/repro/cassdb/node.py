@@ -11,7 +11,7 @@ must replay to peers that were down (hinted handoff).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro import obs
 
@@ -38,14 +38,30 @@ class Hint:
 
 
 class StorageNode:
-    """One simulated Cassandra node."""
+    """One simulated Cassandra node.
+
+    Liveness is two distinct bits unified in one place (the overlap that
+    used to be split between ``Cluster.kill_node`` and
+    ``GossipRunner.crashed``):
+
+    * ``process_up`` — the node's process answers requests.  A crashed
+      node refuses reads and writes immediately, whether or not anyone
+      has noticed yet.
+    * ``routing_up`` — the cluster-visible liveness coordinators route
+      by.  It goes down on an explicit kill or a gossip conviction, and
+      that is the moment hint buffering starts.
+
+    ``up`` (the name every coordinator check uses) is the routing bit.
+    """
 
     def __init__(self, node_id: str, *, flush_threshold: int = 50_000,
                  max_sstables: int = 8):
         self.node_id = node_id
-        self.up = True
+        self.process_up = True
+        self.routing_up = True
         self._flush_threshold = flush_threshold
         self._max_sstables = max_sstables
+        self._flush_hook: Callable[[], None] | None = None
         self.tables: dict[str, TableStore] = {}
         self.hints: list[Hint] = []  # hinted handoff buffer (held as coordinator)
 
@@ -55,14 +71,34 @@ class StorageNode:
 
     # -- liveness -------------------------------------------------------
 
+    @property
+    def up(self) -> bool:
+        return self.routing_up
+
     def mark_down(self) -> None:
-        self.up = False
+        """Full failure: process dead and cluster knows (explicit kill)."""
+        self.process_up = False
+        self.routing_up = False
 
     def mark_up(self) -> None:
-        self.up = True
+        self.process_up = True
+        self.routing_up = True
+
+    def crash(self) -> None:
+        """The process dies silently; routing state is untouched until a
+        failure detector convicts it (or an admin kills it)."""
+        self.process_up = False
+
+    def recover_process(self) -> None:
+        """The process restarts; routing stays down until rehabilitation."""
+        self.process_up = True
+
+    def convict(self) -> None:
+        """Cluster-visible conviction: coordinators stop routing here."""
+        self.routing_up = False
 
     def _check_up(self) -> None:
-        if not self.up:
+        if not self.process_up:
             raise NodeDownError(self.node_id)
 
     # -- table management ------------------------------------------------
@@ -74,7 +110,15 @@ class StorageNode:
                 flush_threshold=self._flush_threshold,
                 max_sstables=self._max_sstables,
             )
+            store.flush_hook = self._flush_hook
         return store
+
+    def set_flush_hook(self, hook: Callable[[], None] | None) -> None:
+        """Install (or clear) a pre-flush hook on every store of this
+        node, present and future — the chaos gate's slow-flush fault."""
+        self._flush_hook = hook
+        for store in self.tables.values():
+            store.flush_hook = hook
 
     def drop_table(self, table: str) -> None:
         self.tables.pop(table, None)

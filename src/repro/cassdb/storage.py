@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro import obs
 
@@ -77,6 +77,10 @@ class TableStore:
     # coordinator's parallel replica reads; flush/compaction merge work
     # happens outside it, on sealed snapshots.
     lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    # Chaos injection point: called (outside the lock) before an SSTable
+    # build, so a fault plan can make this node's flushes slow.  None —
+    # the permanent default — costs one attribute check per flush.
+    flush_hook: "Callable[[], None] | None" = field(default=None, repr=False)
 
     # -- write path -----------------------------------------------------
 
@@ -135,6 +139,9 @@ class TableStore:
         locked.
         """
         flushed_rows = sealed.row_count
+        hook = self.flush_hook
+        if hook is not None:
+            hook()
         with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
             sst = SSTable.from_memtable(sealed)
         with self.lock:

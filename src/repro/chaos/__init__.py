@@ -1,0 +1,49 @@
+"""repro.chaos — deterministic fault injection and resilience scenarios.
+
+Chaos engineering for the in-process reproduction: a seeded
+:class:`FaultPlan` schedules node crashes, replica flap, slow reads,
+slow flushes, bus drops/duplicates, task failures and server errors; a
+:class:`FaultGate` arms the plan against live components (which all
+carry a ``chaos_gate = None`` attribute, so an unarmed system pays one
+attribute check per operation); and :class:`ScenarioRunner` drives
+canned workloads through fault schedules while checking the resilience
+invariants (no acked QUORUM write lost, hint replay converges, streams
+lose nothing across drop windows, jobs finish despite failing workers).
+
+Quick use::
+
+    from repro.chaos import run_scenarios
+
+    report = run_scenarios(["quorum-crash"], seed=7)
+    assert report["ok"]
+
+Everything is reproducible: the same seed and workload produce the same
+injected faults, the same retries and the same report, byte for byte.
+"""
+
+from .gate import FaultGate, FaultInjected
+from .plan import (
+    BusFaults,
+    CrashWindow,
+    FaultPlan,
+    FlapSpec,
+    LatencySpec,
+    ServerFaults,
+    TaskFaults,
+)
+from .scenarios import SCENARIOS, ScenarioRunner, run_scenarios
+
+__all__ = [
+    "BusFaults",
+    "CrashWindow",
+    "FaultGate",
+    "FaultInjected",
+    "FaultPlan",
+    "FlapSpec",
+    "LatencySpec",
+    "SCENARIOS",
+    "ScenarioRunner",
+    "ServerFaults",
+    "TaskFaults",
+    "run_scenarios",
+]

@@ -10,7 +10,9 @@ paper's workflow without writing Python:
 * ``metrics``  — run a query workload through the analytics server and
   dump the observability picture (metrics snapshot, span tree of the
   last request, slow-query log) as JSON;
-* ``topology`` — inspect the Titan coordinate system.
+* ``topology`` — inspect the Titan coordinate system;
+* ``chaos``    — run the deterministic fault-injection scenarios and
+  check their resilience invariants (``chaos list`` names them).
 
 Every command is deterministic given ``--seed``.
 """
@@ -91,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     topo = sub.add_parser("topology", help="inspect Titan coordinates")
     topo.add_argument("query", help="a cname (c3-17c1s5n2) or node index")
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault injection + invariant checks")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser("list", help="name the available scenarios")
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run scenarios and verify resilience invariants")
+    chaos_run.add_argument("--scenario", action="append", default=None,
+                           help="scenario name (repeatable; default: all)")
+    chaos_run.add_argument("--seed", type=int, default=2017)
+    chaos_run.add_argument("--quick", action="store_true",
+                           help="smaller workloads (CI smoke)")
+    chaos_run.add_argument("--json", dest="json_path", default=None,
+                           help="also write the report to this file")
 
     return parser
 
@@ -265,12 +281,38 @@ def _cmd_topology(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Fault-injection scenarios.  ``run`` output is deterministic for a
+    given (scenario set, seed, quick) — sorted keys, logical-time values
+    only — so two runs diff clean, byte for byte."""
+    from repro.chaos import SCENARIOS, run_scenarios
+
+    if args.chaos_command == "list":
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().split("\n")[0]
+            print(f"{name}: {doc}")
+        return 0
+    try:
+        report = run_scenarios(args.scenario, seed=args.seed,
+                               quick=args.quick)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    print(payload)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "ingest": _cmd_ingest,
     "analyze": _cmd_analyze,
     "metrics": _cmd_metrics,
     "topology": _cmd_topology,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -111,6 +111,9 @@ class AnalyticsServer:
         )
         self.requests_served = 0
         self.errors = 0
+        # Chaos injection point (repro.chaos FaultGate); None — the
+        # permanent default — costs one attribute check per request.
+        self.chaos_gate = None
         self._latency_window = latency_window
         # (op, outcome) -> bounded Histogram; every request is timed,
         # failures included, tagged by outcome.  Private to this server
@@ -161,6 +164,11 @@ class AnalyticsServer:
                     op not in SIMPLE_OPS and op not in COMPLEX_OPS
                 ):
                     raise ValueError(f"unknown op: {op!r}")
+                gate = self.chaos_gate
+                if gate is not None:
+                    # May stall or raise FaultInjected — which flows
+                    # through the normal error-response path below.
+                    gate.on_request(op_name)
                 handler = getattr(self, f"_op_{op}")
                 if op in SIMPLE_OPS:
                     result = handler(request)

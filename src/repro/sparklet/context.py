@@ -44,6 +44,12 @@ class SparkletContext:
         Simulated seconds per record charged when a ``cassandraTable``
         task reads a partition whose primary replica is on another
         node.  0 (default) records metrics only.
+    max_task_retries / blacklist_after:
+        Task-failure resilience (see
+        :class:`~repro.sparklet.executor.WorkerPool`): failed tasks are
+        rerun on untried workers up to ``max_task_retries`` times, and
+        a worker accumulating ``blacklist_after`` failures stops
+        receiving tasks.
     """
 
     def __init__(
@@ -55,6 +61,8 @@ class SparkletContext:
         default_parallelism: int | None = None,
         remote_read_cost: float = 0.0,
         max_threads: int | None = None,
+        max_task_retries: int = 0,
+        blacklist_after: int = 3,
     ):
         if cluster is not None:
             worker_ids = sorted(cluster.nodes)
@@ -65,7 +73,9 @@ class SparkletContext:
         self.cluster = cluster
         self.remote_read_cost = remote_read_cost
         self.pool = WorkerPool(worker_ids, placement=placement,
-                               max_threads=max_threads)
+                               max_threads=max_threads,
+                               max_task_retries=max_task_retries,
+                               blacklist_after=blacklist_after)
         self.default_parallelism = default_parallelism or len(worker_ids)
         self.metrics = EngineMetrics()
         self.scheduler = DAGScheduler(self)

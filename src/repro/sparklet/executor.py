@@ -37,6 +37,8 @@ __all__ = ["TaskMetrics", "TaskContext", "WorkerPool"]
 
 _M_TASKS = obs.get_registry().counter("sparklet.tasks")
 _M_TASK_DURATION = obs.get_registry().histogram("sparklet.task_duration_ms")
+_M_TASK_RETRIES = obs.get_registry().counter("sparklet.task_retries")
+_M_BLACKLISTED = obs.get_registry().counter("sparklet.workers_blacklisted")
 
 
 @dataclass
@@ -58,12 +60,15 @@ class TaskContext:
     metrics: TaskMetrics = field(default_factory=TaskMetrics)
 
 
-def _run_task(fn: Callable[["TaskContext"], Any], tc: "TaskContext") -> Any:
+def _run_task(fn: Callable[["TaskContext"], Any], tc: "TaskContext",
+              gate=None) -> Any:
     """Execute one task under a span, timing it into the obs histogram."""
     start = time.perf_counter()
     with obs.get_tracer().span(
         "sparklet.task", worker=tc.worker, partition=tc.partition
     ) as span:
+        if gate is not None:
+            gate.on_task(tc.worker, tc.partition)
         result = fn(tc)
         span.set(records_read=tc.metrics.records_read)
     _M_TASKS.inc()
@@ -80,11 +85,15 @@ class WorkerPool:
         placement: str = "locality",
         seed: int = 1234,
         max_threads: int | None = None,
+        max_task_retries: int = 0,
+        blacklist_after: int = 3,
     ):
         if not workers:
             raise ValueError("at least one worker required")
         if placement not in ("locality", "round_robin", "random"):
             raise ValueError(f"unknown placement policy: {placement!r}")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
         self.workers = list(workers)
         self.placement = placement
         self._rr = itertools.count()
@@ -93,19 +102,55 @@ class WorkerPool:
         self._pool = ThreadPoolExecutor(
             max_workers=max_threads or min(8, len(self.workers))
         )
+        # Task retry + executor blacklisting: a failed task is
+        # resubmitted (up to max_task_retries times) preferring workers
+        # it has not tried; a worker accumulating blacklist_after
+        # failures stops receiving tasks (at least one worker always
+        # stays eligible).  blacklist_after=0 disables blacklisting.
+        self.max_task_retries = max_task_retries
+        self.blacklist_after = blacklist_after
+        self.blacklisted: set[str] = set()
+        self.worker_failures: dict[str, int] = {}
+        # Chaos injection point (repro.chaos FaultGate); None — the
+        # permanent default — costs one attribute check per task.
+        self.chaos_gate = None
 
-    def assign(self, preferred: str | None) -> str:
-        """Pick the worker a task runs on."""
+    def assign(self, preferred: str | None,
+               exclude: frozenset[str] | set[str] = frozenset()) -> str:
+        """Pick the worker a task runs on.
+
+        *exclude* holds workers this task already failed on (retry
+        placement); blacklisted workers are avoided the same way.  When
+        exclusions would leave no candidate, the full roster is used —
+        placement degrades before it deadlocks.
+        """
+        avoid = self.blacklisted | exclude
+        candidates = (
+            [w for w in self.workers if w not in avoid] or self.workers
+            if avoid else self.workers
+        )
         if (
             self.placement == "locality"
             and preferred is not None
-            and preferred in self.workers
+            and preferred in candidates
         ):
             return preferred
         if self.placement == "random":
             with self._rng_lock:
-                return self._rng.choice(self.workers)
-        return self.workers[next(self._rr) % len(self.workers)]
+                return self._rng.choice(candidates)
+        return candidates[next(self._rr) % len(candidates)]
+
+    def _note_failure(self, worker: str) -> None:
+        count = self.worker_failures.get(worker, 0) + 1
+        self.worker_failures[worker] = count
+        if (
+            self.blacklist_after > 0
+            and count >= self.blacklist_after
+            and worker not in self.blacklisted
+            and len(self.blacklisted) + 1 < len(self.workers)
+        ):
+            self.blacklisted.add(worker)
+            _M_BLACKLISTED.inc()
 
     def run_tasks(
         self,
@@ -122,31 +167,57 @@ class WorkerPool:
         threads — the server → job → stage → task span chain survives
         the thread hop.
 
-        Fails fast: when any task raises, queued tasks are cancelled and
-        the first (in task order) failure re-raises immediately instead
-        of draining every remaining future first.
+        A failed task is retried up to ``max_task_retries`` times on a
+        worker it has not tried yet (its failures still count toward
+        the worker's blacklist threshold).  Once a task exhausts its
+        retries the call fails fast: queued tasks are cancelled and the
+        first (in task order) exhausted failure re-raises immediately
+        instead of draining every remaining future first.
         """
-        contexts = [
-            TaskContext(worker=self.assign(pref), partition=idx)
-            for _fn, pref, idx in tasks
-        ]
-        futures = [
-            self._pool.submit(
-                contextvars.copy_context().run, _run_task, fn, tc
+        gate = self.chaos_gate
+        n = len(tasks)
+        results: list[Any] = [None] * n
+        contexts: list[TaskContext | None] = [None] * n
+        attempts = [0] * n
+        tried: list[set[str]] = [set() for _ in range(n)]
+
+        def submit(i: int):
+            fn, pref, idx = tasks[i]
+            worker = self.assign(pref if not tried[i] else None,
+                                 exclude=tried[i])
+            tried[i].add(worker)
+            tc = TaskContext(worker=worker, partition=idx)
+            contexts[i] = tc
+            return self._pool.submit(
+                contextvars.copy_context().run, _run_task, fn, tc, gate
             )
-            for (fn, _pref, _idx), tc in zip(tasks, contexts)
-        ]
-        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-        failed = next(
-            (f for f in futures
-             if f in done and not f.cancelled() and f.exception() is not None),
-            None,
-        )
-        if failed is not None:
-            for f in not_done:
-                f.cancel()
-            raise failed.exception()
-        results = [f.result() for f in futures]
+
+        pending: dict = {submit(i): i for i in range(n)}
+        while pending:
+            done, not_done = wait(pending, return_when=FIRST_EXCEPTION)
+            settled = sorted((pending.pop(f), f) for f in done)
+            fatal: BaseException | None = None
+            retry_indices: list[int] = []
+            for i, future in settled:
+                if future.cancelled():
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    results[i] = future.result()
+                    continue
+                self._note_failure(contexts[i].worker)
+                attempts[i] += 1
+                if fatal is None and attempts[i] <= self.max_task_retries:
+                    retry_indices.append(i)
+                elif fatal is None:
+                    fatal = exc
+            if fatal is not None:
+                for f in not_done:
+                    f.cancel()
+                raise fatal
+            for i in retry_indices:
+                _M_TASK_RETRIES.inc()
+                pending[submit(i)] = i
         return results, contexts
 
     def shutdown(self) -> None:

@@ -1,0 +1,118 @@
+"""Unit tests for HeartbeatHistory and PhiAccrualDetector.
+
+The gossip integration (conviction, rehabilitation, lossy links) is
+covered in test_gossip_repair.py; these pin down the detector math
+itself — phi growth, windowing, bootstrap behaviour and edge cases.
+"""
+
+import math
+
+import pytest
+
+from repro.cassdb.gossip import HeartbeatHistory, PhiAccrualDetector
+
+
+class TestHeartbeatHistory:
+    def test_window_must_hold_two_samples(self):
+        with pytest.raises(ValueError):
+            HeartbeatHistory(window=1)
+
+    def test_bootstrap_mean_before_any_interval(self):
+        # Zero or one heartbeat yields no interval sample: the nominal
+        # bootstrap interval stands in so new peers aren't convicted.
+        h = HeartbeatHistory(bootstrap_interval=2.5)
+        assert h.mean_interval == 2.5
+        h.record(10.0)
+        assert h.mean_interval == 2.5
+        assert h.last_heartbeat == 10.0
+
+    def test_mean_tracks_observed_intervals(self):
+        h = HeartbeatHistory()
+        for t in (0.0, 1.0, 3.0):  # intervals 1.0, 2.0
+            h.record(t)
+        assert h.mean_interval == pytest.approx(1.5)
+
+    def test_window_evicts_oldest_interval(self):
+        h = HeartbeatHistory(window=2)
+        for t in (0.0, 10.0, 11.0, 12.0):  # intervals 10, 1, 1; window 2
+            h.record(t)
+        assert h.mean_interval == pytest.approx(1.0)
+
+    def test_out_of_order_heartbeat_rejected(self):
+        h = HeartbeatHistory()
+        h.record(5.0)
+        with pytest.raises(ValueError):
+            h.record(4.0)
+
+    def test_phi_zero_when_never_heard(self):
+        assert HeartbeatHistory().phi(100.0) == 0.0
+
+    def test_phi_zero_at_heartbeat_and_grows_linearly(self):
+        h = HeartbeatHistory()
+        for t in (0.0, 1.0, 2.0):  # mean interval 1.0
+            h.record(t)
+        assert h.phi(2.0) == 0.0
+        # Exponential model: phi(t) = elapsed / (mean * ln 10).
+        assert h.phi(3.0) == pytest.approx(1.0 / math.log(10.0))
+        assert h.phi(2.0 + 8.0 * math.log(10.0)) == pytest.approx(8.0)
+
+    def test_phi_scales_with_mean_interval(self):
+        # A peer that heartbeats every 10 s is suspected 10x slower.
+        slow, fast = HeartbeatHistory(), HeartbeatHistory()
+        for i in range(5):
+            slow.record(i * 10.0)
+            fast.record(i * 1.0)
+        elapsed = 20.0
+        assert slow.phi(40.0 + elapsed) == pytest.approx(
+            fast.phi(4.0 + elapsed) / 10.0)
+
+    def test_phi_clamps_negative_elapsed(self):
+        h = HeartbeatHistory()
+        h.record(5.0)
+        assert h.phi(4.0) == 0.0
+
+
+class TestPhiAccrualDetector:
+    def test_unknown_peer_is_alive(self):
+        d = PhiAccrualDetector()
+        assert d.phi("ghost", 50.0) == 0.0
+        assert d.is_alive("ghost", 50.0)
+        assert d.suspected(50.0) == []
+
+    def test_silent_peer_crosses_threshold(self):
+        d = PhiAccrualDetector(threshold=8.0)
+        for t in range(10):
+            d.heartbeat("node01", float(t))
+        assert d.is_alive("node01", 10.0)
+        # Silence long past threshold * mean * ln(10) seconds convicts.
+        late = 9.0 + 8.0 * math.log(10.0) + 1.0
+        assert not d.is_alive("node01", late)
+        assert d.suspected(late) == ["node01"]
+
+    def test_resumed_heartbeats_rehabilitate(self):
+        d = PhiAccrualDetector(threshold=8.0)
+        for t in range(5):
+            d.heartbeat("node01", float(t))
+        late = 4.0 + 100.0
+        assert not d.is_alive("node01", late)
+        d.heartbeat("node01", late)
+        assert d.is_alive("node01", late)
+
+    def test_flappy_peer_earns_tolerance(self):
+        # A peer with erratic (large-mean) intervals tolerates longer
+        # silences than a steady fast one before conviction.
+        d = PhiAccrualDetector(threshold=8.0)
+        for i, t in enumerate([0.0, 1.0, 9.0, 10.0, 19.0, 20.0]):
+            d.heartbeat("flappy", t)
+        for t in range(21):
+            d.heartbeat("steady", float(t))
+        now = 20.0 + 25.0
+        assert not d.is_alive("steady", now)
+        assert d.is_alive("flappy", now)
+
+    def test_suspected_is_sorted(self):
+        d = PhiAccrualDetector(threshold=1.0)
+        for peer in ("node03", "node01", "node02"):
+            d.heartbeat(peer, 0.0)
+            d.heartbeat(peer, 1.0)
+        assert d.suspected(1000.0) == ["node01", "node02", "node03"]
