@@ -44,6 +44,12 @@ class Record:
     key: str | None
     value: Any
     timestamp: float
+    # Trace continuation link: ``(trace_id, span_id)`` of the publishing
+    # span, or None when the producer ran outside any trace.  Consumers
+    # that process this record can join the same trace (see
+    # ``Tracer.root_span(trace_id=…, parent_id=…)``) so spans on either
+    # side of the broker export as one tree instead of orphaning here.
+    trace: tuple[int, int] | None = None
 
 
 class Topic:
@@ -66,10 +72,12 @@ class Topic:
             return self._rr % self.num_partitions
         return token_for_key(key) % self.num_partitions
 
-    def append(self, key: str | None, value: Any, timestamp: float) -> Record:
+    def append(self, key: str | None, value: Any, timestamp: float,
+               trace: tuple[int, int] | None = None) -> Record:
         part = self.partition_for(key)
         log = self.partitions[part]
-        record = Record(self.name, part, len(log), key, value, timestamp)
+        record = Record(self.name, part, len(log), key, value, timestamp,
+                        trace)
         log.append(record)
         return record
 
@@ -125,16 +133,23 @@ class MessageBus:
     def publish(self, topic: str, value: Any, key: str | None = None,
                 timestamp: float = 0.0) -> Record:
         copies = 1
-        with self._lock:
-            t = self.topic(topic)
-            record = t.append(key, value, timestamp)
-            gate = self.chaos_gate
-            if gate is not None:
-                # Producer-retry duplicates: the same payload appended
-                # again (consumers must dedup by key/content).
-                for _ in range(gate.on_publish(topic)):
-                    t.append(key, value, timestamp)
-                    copies += 1
+        # Stamp the record with the active trace so consumers on the
+        # other side of the broker can continue it; the publish span
+        # itself is the cross-broker parent (a no-op outside traces).
+        with obs.get_tracer().span("bus.publish", topic=topic) as span:
+            trace = None
+            if isinstance(span, obs.Span):
+                trace = (span.trace_id, span.span_id)
+            with self._lock:
+                t = self.topic(topic)
+                record = t.append(key, value, timestamp, trace)
+                gate = self.chaos_gate
+                if gate is not None:
+                    # Producer-retry duplicates: the same payload appended
+                    # again (consumers must dedup by key/content).
+                    for _ in range(gate.on_publish(topic)):
+                        t.append(key, value, timestamp, trace)
+                        copies += 1
         _M_PUBLISHED.inc(copies)
         _G_QUEUE_DEPTH.inc(copies)
         return record

@@ -10,6 +10,10 @@ paper's workflow without writing Python:
 * ``metrics``  — run a query workload through the analytics server and
   dump the observability picture (metrics snapshot, span tree of the
   last request, slow-query log) as JSON;
+* ``top``      — the self-ingestion loop, live: a seeded workload runs
+  while its own telemetry streams through the bus into
+  ``metrics_by_time``/``spans_by_time``, rendered as a text dashboard
+  (``--once``/``--json`` for scripts and CI);
 * ``topology`` — inspect the Titan coordinate system;
 * ``chaos``    — run the deterministic fault-injection scenarios and
   check their resilience invariants (``chaos list`` names them).
@@ -90,6 +94,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="issue the op this many times")
     met.add_argument("--slow-ms", type=float, default=0.0,
                      help="slow-query threshold (0 logs everything)")
+    met.add_argument("--slow-json", dest="slow_json", default=None,
+                     help="also write the slow-query log to this file in "
+                          "stable form (no wall clock / timings) so two "
+                          "runs of the same workload diff clean in CI")
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard fed by the system's own self-ingested "
+             "telemetry")
+    add_machine_args(top)
+    top.add_argument("--hours", type=float, default=0.5,
+                     help="synthetic workload span")
+    top.add_argument("--rate-multiplier", type=float, default=20.0)
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="snapshot + refresh interval seconds")
+    top.add_argument("--frames", type=int, default=0,
+                     help="stop after N frames (0 = until interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit machine-readable frames instead of the "
+                          "dashboard")
 
     topo = sub.add_parser("topology", help="inspect Titan coordinates")
     topo.add_argument("query", help="a cname (c3-17c1s5n2) or node index")
@@ -259,6 +285,147 @@ def _cmd_metrics(args) -> int:
         "trace": trace["result"],
         "slow_queries": slow_log.entries(),
     }, indent=2))
+    if args.slow_json:
+        stable = asyncio.run(
+            server.handle({"op": "slow_queries", "stable": True}))
+        with open(args.slow_json, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(stable["result"], indent=2,
+                                sort_keys=True) + "\n")
+    fw.stop()
+    return 0
+
+
+def _render_top_frame(frame: dict) -> str:
+    """One dashboard frame as plain text (no curses: pipe-friendly)."""
+    health = frame["health"]
+    ring = health["ring"]
+    lines = [
+        f"repro top — frame {frame['frame']}  "
+        f"[{health['status']}]  "
+        f"ring {ring['alive']}/{ring['nodes']} up, rf={ring['replication_factor']}",
+        f"server: {health['server']['requests_served']} requests, "
+        f"{health['server']['errors']} errors   "
+        f"telemetry rows: {frame['telemetry']['metrics_rows']} metric, "
+        f"{frame['telemetry']['spans_rows']} span",
+        "",
+        f"{'METRIC':<42} {'KIND':<10} {'VALUE':>12} {'DELTA':>10}",
+    ]
+    for m in frame["metrics"]:
+        delta = m.get("delta")
+        lines.append(
+            f"{m['name']:<42} {m['kind']:<10} "
+            f"{m['value']:>12.6g} {'' if delta is None else f'{delta:>+10.6g}'}")
+    lines.append("")
+    lines.append("SLOWEST TRACES (self-ingested spans)")
+    for i, t in enumerate(frame["slowest"], 1):
+        lines.append(
+            f"  {i}. {t['name']:<32} {t['duration_ms']:>9.3f} ms  "
+            f"trace={t['trace_id']} spans={t['spans']}")
+    if frame["slow_queries"]:
+        lines.append("")
+        lines.append("SLOW QUERIES")
+        for e in frame["slow_queries"][-5:]:
+            lines.append(f"  {e['op']:<20} {e['outcome']}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """The self-ingestion loop, end to end, on a seeded workload: the
+    dashboard's every number was exported by the system, published to
+    its own bus, streamed back through ingest and read out of its own
+    cassdb tables."""
+    import asyncio
+    import time as _time
+
+    from repro import obs
+    from repro.bus import MessageBus
+    from repro.core import AnalyticsServer
+
+    topo = TitanTopology(rows=args.rows, cols=args.cols)
+    fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
+    fw.ingest_events(
+        LogGenerator(topo, seed=args.seed,
+                     rate_multiplier=args.rate_multiplier)
+        .generate(args.hours))
+    slow_log = obs.SlowQueryLog(threshold_ms=0.0, capacity=64)
+    server = AnalyticsServer(fw, slow_log=slow_log)
+    bus = MessageBus()
+    pipeline = fw.telemetry_pipeline(bus, interval_s=args.interval)
+    ctx = fw.context(0.0, _data_horizon(fw, 0.0)).to_json()
+    workload = [{"op": "heatmap", "context": ctx},
+                {"op": "hotspots", "context": ctx},
+                {"op": "synopsis", "hour": 0}]
+
+    async def one_frame(n: int) -> dict:
+        for request in workload:
+            response = await server.handle(request)
+            if not response["ok"]:
+                raise SystemExit(f"workload failed: {response['error']}")
+        stats = pipeline.run_once(force=True)
+        now = _time.time()
+        t0, t1 = now - 900.0, now + args.interval + 1.0
+        # Latest point per metric, read back from metrics_by_time.
+        latest: dict[str, dict] = {}
+        table_rows = 0
+        for row in fw.cluster.scan_table("metrics_by_time"):
+            table_rows += 1
+            name = row["metric_name"]
+            best = latest.get(name)
+            if best is None or (row["ts"], row["seq"]) > (best["ts"],
+                                                          best["seq"]):
+                latest[name] = row
+        metrics = []
+        for name, row in sorted(latest.items()):
+            # Histogram rows carry count/delta_count instead of a value.
+            value = row.get("value", row.get("count"))
+            delta = row.get("delta", row.get("delta_count"))
+            m = {"name": name, "kind": row["kind"], "ts": row["ts"],
+                 "value": value}
+            if delta is not None:
+                m["delta"] = delta
+            if row["kind"] == "histogram":
+                m["p95"] = row["p95"]
+            metrics.append(m)
+        spans = (await server.handle(
+            {"op": "telemetry_spans", "t0": t0, "t1": t1, "limit": 5}
+        ))["result"]
+
+        def tree_size(node):
+            return 1 + sum(tree_size(c) for c in node["children"])
+
+        health = (await server.handle({"op": "health"}))["result"]
+        slow = (await server.handle(
+            {"op": "slow_queries", "stable": True}))["result"]
+        return {
+            "frame": n,
+            "health": health,
+            "telemetry": dict(stats, metrics_table_rows=table_rows),
+            "metrics": metrics,
+            "slowest": [
+                {"name": t["name"], "duration_ms": t["duration_ms"],
+                 "trace_id": t["trace_id"], "spans": tree_size(t)}
+                for t in spans["trees"]
+            ],
+            "slow_queries": slow,
+        }
+
+    frames = 1 if args.once else args.frames
+    n = 0
+    try:
+        while True:
+            n += 1
+            frame = asyncio.run(one_frame(n))
+            if args.as_json:
+                print(json.dumps(frame))
+            else:
+                if n > 1:
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_top_frame(frame))
+            if frames and n >= frames:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     fw.stop()
     return 0
 
@@ -311,6 +478,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "analyze": _cmd_analyze,
     "metrics": _cmd_metrics,
+    "top": _cmd_top,
     "topology": _cmd_topology,
     "chaos": _cmd_chaos,
 }

@@ -165,6 +165,23 @@ class LogAnalyticsFramework:
             batch_interval=batch_interval, group_id=group_id,
         )
 
+    def telemetry_pipeline(self, bus, *, topic: str | None = None,
+                           interval_s: float = 1.0,
+                           registry=None, tracer=None,
+                           group_id: str = "telemetry-ingest"):
+        """Attach the self-ingestion loop: this framework's own metrics
+        and spans exported to *bus* and streamed back into its cluster
+        (``metrics_by_time`` / ``spans_by_time``)."""
+        from repro.obs.export import TELEMETRY_TOPIC, TelemetryPipeline
+
+        self._check_ready()
+        return TelemetryPipeline(
+            bus, self.cluster, self.sc,
+            registry=registry, tracer=tracer,
+            topic=TELEMETRY_TOPIC if topic is None else topic,
+            interval_s=interval_s, group_id=group_id,
+        )
+
     @_traced
     def refresh_synopsis(self) -> int:
         self._check_ready()

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
+import json
 import time
 from dataclasses import asdict
 from typing import Any
@@ -48,6 +49,7 @@ _CACHE_STATUS: contextvars.ContextVar[str | None] = contextvars.ContextVar(
 SIMPLE_OPS = frozenset({
     "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
     "metrics", "trace", "slow_queries",
+    "telemetry_series", "telemetry_spans", "health",
 })
 COMPLEX_OPS = frozenset({
     "heatmap", "heatmap_grid", "distribution", "distribution_by_application",
@@ -303,7 +305,154 @@ class AnalyticsServer:
         return trace
 
     def _op_slow_queries(self, request):
-        return self.slow_log.entries()
+        """The slow-query ring; ``stable: true`` strips the wall-clock
+        and timing fields so two dumps of the same deterministic
+        workload diff clean in CI."""
+        entries = self.slow_log.entries()
+        if request.get("stable"):
+            entries = [
+                {k: v for k, v in e.items()
+                 if k not in ("wall_time", "elapsed_ms")}
+                for e in entries
+            ]
+        return entries
+
+    # -- self-ingested telemetry ops (repro.obs.export) -----------------------
+
+    def _require_telemetry_table(self, table: str) -> None:
+        from repro.cassdb.errors import SchemaError
+
+        try:
+            self.framework.cluster.schema(table)
+        except SchemaError:
+            raise LookupError(
+                f"{table} not provisioned — attach a TelemetryPipeline "
+                "(repro.obs.export) so telemetry self-ingests"
+            ) from None
+
+    @staticmethod
+    def _telemetry_window(request) -> tuple[float, float]:
+        t1 = request.get("t1")
+        t1 = time.time() if t1 is None else float(t1)
+        t0 = request.get("t0")
+        t0 = t1 - 900.0 if t0 is None else float(t0)
+        if t1 <= t0:
+            raise ValueError("telemetry window requires t0 < t1")
+        return t0, t1
+
+    def _op_telemetry_series(self, request):
+        """Time-windowed series of one metric from ``metrics_by_time``:
+        one partition read per (minute, name), exactly how event
+        contexts read ``event_by_time``."""
+        name = request.get("name")
+        if not name:
+            raise ValueError("telemetry_series requires 'name'")
+        t0, t1 = self._telemetry_window(request)
+        self._require_telemetry_table("metrics_by_time")
+        cluster = self.framework.cluster
+        partitions = [
+            (minute, name)
+            for minute in range(int(t0 // 60), int((t1 - 1e-9) // 60) + 1)
+        ]
+        want = request.get("labels") or {}
+        points = []
+        for rows in cluster.select_partitions("metrics_by_time", partitions):
+            for row in rows:
+                if not t0 <= row["ts"] < t1:
+                    continue
+                labels = (json.loads(row["labels"])
+                          if row.get("labels") else {})
+                if want and any(labels.get(k) != v for k, v in want.items()):
+                    continue
+                point = {k: v for k, v in row.items()
+                         if k not in ("minute_bucket", "metric_name",
+                                      "labels")}
+                if labels:
+                    point["labels"] = labels
+                points.append(point)
+        points.sort(key=lambda p: (p["ts"], p.get("seq", 0)))
+        return {"name": name, "t0": t0, "t1": t1, "points": points}
+
+    def _op_telemetry_spans(self, request):
+        """Slowest spans in a window from ``spans_by_time``,
+        reconstructed as trees via their parent links."""
+        t0, t1 = self._telemetry_window(request)
+        limit = int(request.get("limit", 20))
+        component = request.get("component")
+        self._require_telemetry_table("spans_by_time")
+        cluster = self.framework.cluster
+        minutes = range(int(t0 // 60), int((t1 - 1e-9) // 60) + 1)
+        if component:
+            partitions = [(minute, component) for minute in minutes]
+        else:
+            schema = cluster.schema("spans_by_time")
+            wanted = set(minutes)
+            partitions = sorted(
+                (values["minute_bucket"], values["component"])
+                for values in (
+                    schema.partition_values_from_key(pk)
+                    for pk in cluster.partition_keys("spans_by_time")
+                )
+                if values["minute_bucket"] in wanted
+            )
+        by_id: dict[int, dict] = {}
+        for rows in cluster.select_partitions("spans_by_time", partitions):
+            for row in rows:
+                if t0 <= row["ts"] < t1:
+                    node = {k: v for k, v in row.items()
+                            if k != "minute_bucket"}
+                    node["children"] = []
+                    by_id[node["span_id"]] = node
+        roots = []
+        for node in by_id.values():
+            parent = by_id.get(node.get("parent_id"))
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        for node in by_id.values():
+            node["children"].sort(key=lambda n: (n["ts"], n["span_id"]))
+        roots.sort(key=lambda n: -n["duration_ms"])
+        return {"t0": t0, "t1": t1, "spans": len(by_id),
+                "trees": roots[:limit]}
+
+    def _op_health(self, request):
+        """Per-node liveness/breaker state plus a ring summary — the
+        one-op answer to "is the backend healthy right now?"."""
+        cluster = self.framework.cluster
+        nodes = {}
+        degraded = []
+        for node_id, node in sorted(cluster.nodes.items()):
+            info = {
+                "process_up": node.process_up,
+                "routing_up": node.routing_up,
+                "hints_pending": len(node.hints),
+                "tables": len(node.tables),
+            }
+            breaker = cluster.breaker(node_id)
+            if breaker is not None:
+                info["breaker"] = str(breaker.state)
+                if str(breaker.state) != "closed":
+                    degraded.append(node_id)
+            if not node.routing_up or not node.process_up:
+                degraded.append(node_id)
+            nodes[node_id] = info
+        alive = cluster.alive_nodes()
+        return {
+            "status": "ok" if not degraded else "degraded",
+            "degraded_nodes": sorted(set(degraded)),
+            "nodes": nodes,
+            "ring": {
+                "nodes": len(cluster.nodes),
+                "alive": len(alive),
+                "replication_factor": cluster.keyspace.replication_factor,
+                "tables": sorted(cluster.keyspace.tables),
+            },
+            "server": {
+                "requests_served": self.requests_served,
+                "errors": self.errors,
+            },
+        }
 
     # -- complex ops (big data processing unit) -------------------------------------
 

@@ -136,10 +136,24 @@ class StreamingIngestor:
         seen, so all batches strictly before it are finalized; events in
         the still-open batch remain buffered for the next call.
         """
-        with obs.get_tracer().span("ingest.stream.poll") as span:
-            records = self._consumer.poll(max_records)
-            if not records:
-                return 0
+        tracer = obs.get_tracer()
+        records = self._consumer.poll(max_records)
+        if not records:
+            return 0
+        if tracer.current_span() is not None:
+            span_cm = tracer.span("ingest.stream.poll")
+        else:
+            # Consumer side of the broker: no active trace here, but the
+            # records carry the publishing span's (trace_id, span_id) —
+            # continue that trace so both halves export as one tree
+            # instead of the poll span orphaning (or vanishing) here.
+            link = next((r.trace for r in records if r.trace), None)
+            span_cm = tracer.root_span(
+                "ingest.stream.poll",
+                trace_id=link[0] if link else None,
+                parent_id=link[1] if link else None,
+            )
+        with span_cm as span:
             latest = 0.0
             for record in records:
                 self._input.push(record.value, record.timestamp)

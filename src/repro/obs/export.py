@@ -1,0 +1,531 @@
+"""Telemetry export and self-ingestion: the system analyzes itself.
+
+PR 1 gave every layer an in-process observability picture
+(:class:`~repro.obs.metrics.MetricsRegistry`, :class:`~repro.obs.trace.
+Tracer`, :class:`~repro.obs.slowlog.SlowQueryLog`) — but that picture
+lives in process memory and vanishes at exit.  This module closes the
+paper's loop on our own telemetry, the move the EAST tokamak system
+(arXiv:1806.08489) makes with its access logs and BiDAl (arXiv:1410.
+1309) makes with cluster traces: telemetry is *just another event
+stream*, parsed into typed records, published to a bus topic, consumed
+by the streaming-ingest machinery and stored in time-partitioned
+cassdb tables — queryable exactly like Titan events.
+
+Three groups of moving parts:
+
+* **Exporters** — :func:`render_prometheus` (text exposition of the
+  full registry: ``_total`` counters, gauges, histograms with
+  cumulative ``_bucket``/``_sum``/``_count`` plus derived
+  p50/p95/p99), :func:`render_spans_jsonl` (one JSON object per span,
+  trace/span/parent ids preserved), and :class:`TelemetrySnapshotter`
+  (interval-gated *delta* snapshots: typed metric records since the
+  last export, plus every newly completed trace flattened to span
+  records).
+* **Self-ingestion** — :class:`TelemetryPublisher` puts the records on
+  a dedicated bus topic; :class:`TelemetryIngestor` consumes them
+  through a sparklet :class:`~repro.sparklet.streaming.
+  StreamingContext` micro-batch pipeline into ``metrics_by_time``
+  (partition ``(minute_bucket, metric_name)``) and ``spans_by_time``
+  (partition ``(minute_bucket, component)``) — the paper's
+  ``(hour, type)`` partition scheme at telemetry's natural cadence.
+* **Wiring** — :class:`TelemetryPipeline` composes the three; one
+  ``run_once()`` per refresh tick is the whole operational surface.
+
+The dogfooding is the point: every export exercises bus → streaming
+ingest → cassdb write path, and every ``telemetry_series`` /
+``telemetry_spans`` server op exercises the partition-read path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import Any, Iterable, Iterator, Mapping, TYPE_CHECKING
+
+from repro.cassdb import TableSchema
+from repro.cassdb.errors import SchemaError
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bus import MessageBus
+    from repro.cassdb import Cluster
+    from repro.sparklet import SparkletContext
+
+__all__ = [
+    "TELEMETRY_TOPIC",
+    "TELEMETRY_SCHEMAS",
+    "ensure_telemetry_tables",
+    "prometheus_name",
+    "render_prometheus",
+    "iter_spans",
+    "render_spans_jsonl",
+    "TelemetrySnapshotter",
+    "TelemetryPublisher",
+    "TelemetryIngestor",
+    "TelemetryPipeline",
+]
+
+TELEMETRY_TOPIC = "telemetry"
+
+MINUTE = 60.0
+
+# Telemetry's own tables, mirroring the event tables' partition scheme
+# (§II-B: hash by (time bucket, type), cluster by timestamp) at the
+# minute granularity dashboards read.  ``seq``/``span_id`` disambiguate
+# identical timestamps inside a partition, the same role ``seq`` plays
+# in ``event_by_time``.
+TELEMETRY_SCHEMAS: dict[str, TableSchema] = {
+    "metrics_by_time": TableSchema(
+        "metrics_by_time",
+        partition_key=("minute_bucket", "metric_name"),
+        clustering_key=("ts", "seq"),
+        key_codecs=(("minute_bucket", int),),
+        description="Self-ingested metric deltas: partition "
+                    "(minute_bucket, metric_name)",
+    ),
+    "spans_by_time": TableSchema(
+        "spans_by_time",
+        partition_key=("minute_bucket", "component"),
+        clustering_key=("ts", "span_id"),
+        key_codecs=(("minute_bucket", int),),
+        description="Self-ingested trace spans: partition "
+                    "(minute_bucket, component)",
+    ),
+}
+
+
+def ensure_telemetry_tables(cluster: "Cluster") -> None:
+    """Create the two telemetry tables if absent (idempotent)."""
+    for schema in TELEMETRY_SCHEMAS.values():
+        try:
+            cluster.create_table(schema)
+        except SchemaError:
+            pass  # already provisioned
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted series name onto the Prometheus grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``): invalid characters become ``_``."""
+    out = "".join(c if c in _NAME_OK else "_" for c in name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: Any) -> str:
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _render_labels(labels: Mapping[str, Any],
+                   extra: tuple[str, str] | None = None) -> str:
+    pairs = [(k, _escape_label_value(labels[k])) for k in sorted(labels)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full registry in Prometheus text exposition format.
+
+    * counters export as ``<name>_total``;
+    * gauges export under their own name;
+    * histograms export **cumulative** ``_bucket{le=…}`` series (the
+      registry keeps per-bucket tallies; the running sum here is what
+      makes the ``le`` semantics hold), ``_sum``/``_count``, and the
+      window-derived quantiles as ``_p50``/``_p95``/``_p99`` gauges;
+    * series dropped by the label-cardinality cap surface as
+      ``obs_dropped_series_total{name=…}`` — capped cardinality is
+      visible, never silent.
+    """
+    groups: dict[str, list[tuple[dict[str, Any], dict[str, Any]]]] = {}
+    for name, labels, metric in registry.collect():
+        groups.setdefault(name, []).append((labels, metric.snapshot()))
+
+    lines: list[str] = []
+    for name in sorted(groups):
+        pname = prometheus_name(name)
+        series = groups[name]
+        kind = series[0][1]["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {pname}_total counter")
+            for labels, snap in series:
+                lines.append(f"{pname}_total{_render_labels(labels)} "
+                             f"{_fmt(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {pname} gauge")
+            for labels, snap in series:
+                lines.append(f"{pname}{_render_labels(labels)} "
+                             f"{_fmt(snap['value'])}")
+        else:  # histogram
+            lines.append(f"# TYPE {pname} histogram")
+            for labels, snap in series:
+                cumulative = 0
+                for bound, count in snap["buckets"].items():
+                    cumulative += count
+                    le = _render_labels(labels, ("le", bound
+                                                 if bound == "+Inf"
+                                                 else _fmt(float(bound))))
+                    lines.append(f"{pname}_bucket{le} {cumulative}")
+                rendered = _render_labels(labels)
+                lines.append(f"{pname}_sum{rendered} {_fmt(snap['sum'])}")
+                lines.append(f"{pname}_count{rendered} {snap['count']}")
+            for q in ("p50", "p95", "p99"):
+                lines.append(f"# TYPE {pname}_{q} gauge")
+                for labels, snap in series:
+                    lines.append(f"{pname}_{q}{_render_labels(labels)} "
+                                 f"{_fmt(snap[q])}")
+    dropped = registry.dropped_series()
+    if dropped:
+        lines.append("# TYPE obs_dropped_series_total counter")
+        for name in sorted(dropped):
+            rendered = _render_labels({"name": name})
+            lines.append(f"obs_dropped_series_total{rendered} "
+                         f"{dropped[name]}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Span export
+# ---------------------------------------------------------------------------
+
+def _component_of(span_name: str) -> str:
+    """The Fig-3 layer a span belongs to: its dotted-name prefix
+    (``cassdb.node.read`` → ``cassdb``)."""
+    return span_name.split(".", 1)[0]
+
+
+def iter_spans(trace: Mapping[str, Any]) -> Iterator[dict[str, Any]]:
+    """Flatten one exported trace tree into flat per-span records.
+
+    Parent/child structure is preserved through ``parent_id`` links
+    (ids are assigned by the tracer, unique process-wide), so the tree
+    can be reconstructed from any unordered set of these records —
+    which is exactly what ``telemetry_spans`` does after a round trip
+    through the bus and the store.
+    """
+    stack: list[Mapping[str, Any]] = [trace]
+    while stack:
+        node = stack.pop()
+        record = {
+            "trace_id": node.get("trace_id", 0),
+            "span_id": node.get("span_id", 0),
+            "parent_id": node.get("parent_id"),
+            "name": node["name"],
+            "component": _component_of(node["name"]),
+            "ts": node.get("wall_time", 0.0),
+            "duration_ms": node["duration_ms"],
+            "status": node["status"],
+        }
+        if node.get("attrs"):
+            record["attrs"] = dict(node["attrs"])
+        yield record
+        stack.extend(node.get("children", ()))
+
+
+def render_spans_jsonl(traces: Iterable[Mapping[str, Any]]) -> str:
+    """One JSON object per span, one span per line (JSONL)."""
+    lines = [
+        json.dumps(record, sort_keys=True, default=str)
+        for trace in traces
+        for record in iter_spans(trace)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Delta snapshotting
+# ---------------------------------------------------------------------------
+
+class TelemetrySnapshotter:
+    """Turns the registry and tracer into typed telemetry records.
+
+    *Delta* discipline: each export cycle emits only what changed since
+    the previous one — counter increments, gauge movements, histogram
+    count/sum deltas (with the current window percentiles attached) and
+    traces completed since the last cycle.  Two consecutive cycles with
+    no activity in between therefore emit nothing the second time
+    (idempotence), and re-ingesting an export never double-counts.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None, *,
+                 interval_s: float = 1.0):
+        from repro import obs  # late: keep module import light
+
+        self.registry = registry if registry is not None else obs.get_registry()
+        self.tracer = tracer if tracer is not None else obs.get_tracer()
+        self.interval_s = interval_s
+        self.exports = 0
+        self._last_export: float | None = None
+        self._last_counts: dict[str, Any] = {}
+        self._last_trace_id = 0
+
+    @staticmethod
+    def _series_id(name: str, labels: Mapping[str, Any]) -> str:
+        if not labels:
+            return name
+        rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return f"{name}{{{rendered}}}"
+
+    def collect(self, now: float | None = None
+                ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """One unconditional export cycle → (metric records, span records)."""
+        now = time.time() if now is None else now
+        metric_records: list[dict[str, Any]] = []
+        for name, labels, metric in self.registry.collect():
+            snap = metric.snapshot()
+            sid = self._series_id(name, labels)
+            kind = snap["type"]
+            if kind == "counter":
+                last = self._last_counts.get(sid, 0)
+                delta = snap["value"] - last
+                if delta:
+                    self._last_counts[sid] = snap["value"]
+                    metric_records.append({
+                        "rtype": "metric", "kind": "counter", "name": name,
+                        "labels": labels, "ts": now,
+                        "value": snap["value"], "delta": delta,
+                    })
+            elif kind == "gauge":
+                last = self._last_counts.get(sid)
+                if snap["value"] != last:
+                    self._last_counts[sid] = snap["value"]
+                    metric_records.append({
+                        "rtype": "metric", "kind": "gauge", "name": name,
+                        "labels": labels, "ts": now, "value": snap["value"],
+                    })
+            else:  # histogram
+                last_count, last_sum = self._last_counts.get(sid, (0, 0.0))
+                delta = snap["count"] - last_count
+                if delta:
+                    self._last_counts[sid] = (snap["count"], snap["sum"])
+                    metric_records.append({
+                        "rtype": "metric", "kind": "histogram", "name": name,
+                        "labels": labels, "ts": now,
+                        "count": snap["count"], "sum": snap["sum"],
+                        "delta_count": delta,
+                        "delta_sum": snap["sum"] - last_sum,
+                        "p50": snap["p50"], "p95": snap["p95"],
+                        "p99": snap["p99"],
+                    })
+        span_records: list[dict[str, Any]] = []
+        newest = self._last_trace_id
+        for trace in self.tracer.traces():
+            tid = trace.get("trace_id", 0)
+            if tid <= self._last_trace_id:
+                continue
+            newest = max(newest, tid)
+            span_records.extend(iter_spans(trace))
+        self._last_trace_id = newest
+        self.exports += 1
+        self._last_export = now
+        return metric_records, span_records
+
+    def maybe_collect(self, now: float | None = None
+                      ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """Interval-gated :meth:`collect`: empty until *interval_s* has
+        elapsed since the previous export."""
+        now = time.time() if now is None else now
+        if (self._last_export is not None
+                and now - self._last_export < self.interval_s):
+            return [], []
+        return self.collect(now)
+
+
+# ---------------------------------------------------------------------------
+# Self-ingestion: publish → consume → store
+# ---------------------------------------------------------------------------
+
+class TelemetryPublisher:
+    """Puts telemetry records on a dedicated bus topic.
+
+    Metric records are keyed by metric name and span records by
+    component, so each series/layer stays ordered within one topic
+    partition — the same per-key ordering contract event producers get.
+    """
+
+    def __init__(self, bus: "MessageBus", topic: str = TELEMETRY_TOPIC):
+        from repro.bus import Producer
+
+        bus.ensure_topic(topic)
+        self.topic = topic
+        self._producer = Producer(bus, default_topic=topic)
+
+    def publish(self, metric_records: Iterable[Mapping[str, Any]],
+                span_records: Iterable[Mapping[str, Any]] = ()) -> int:
+        n = 0
+        for record in metric_records:
+            self._producer.send(dict(record), key=record["name"],
+                                timestamp=record["ts"])
+            n += 1
+        for record in span_records:
+            payload = {"rtype": "span", **record}
+            self._producer.send(payload, key=record["component"],
+                                timestamp=record["ts"])
+            n += 1
+        return n
+
+    @property
+    def published(self) -> int:
+        return self._producer.sent
+
+
+class TelemetryIngestor:
+    """Consumes the telemetry topic into the two telemetry tables.
+
+    Exactly the streaming-ingest shape (§III-D): a consumer group polls
+    the topic, records ride a :class:`~repro.sparklet.streaming.
+    StreamingContext` micro-batch graph, and each closed batch becomes
+    one :meth:`~repro.cassdb.Cluster.write_batch` per table.
+    """
+
+    def __init__(self, bus: "MessageBus", topic: str, cluster: "Cluster",
+                 sc: "SparkletContext", *, batch_interval: float = 1.0,
+                 group_id: str = "telemetry-ingest"):
+        from repro.bus import ConsumerGroup
+        from repro.sparklet.streaming import StreamingContext
+
+        ensure_telemetry_tables(cluster)
+        self.cluster = cluster
+        self.metrics_rows = 0
+        self.spans_rows = 0
+        self._seq = itertools.count()
+        # Logical-clock epoch: record timestamps are wall clock (~1.7e9
+        # s) but the streaming clock starts at batch 0 and advances one
+        # batch at a time — rebase to the first timestamp seen so the
+        # clock never has billions of empty batches to grind through.
+        self._epoch: float | None = None
+        bus.ensure_topic(topic)
+        self._group = ConsumerGroup(bus, group_id, topic)
+        self._consumer = self._group.join()
+        self.ssc = StreamingContext(sc, batch_interval)
+        self._input = self.ssc.input_stream()
+        self._input.foreachRDD(self._write_batch)
+
+    def _write_batch(self, rdd) -> None:
+        records = rdd.collect()
+        metric_rows: list[dict[str, Any]] = []
+        span_rows: list[dict[str, Any]] = []
+        for record in records:
+            rtype = record.get("rtype")
+            if rtype == "metric":
+                row = {k: v for k, v in record.items()
+                       if k not in ("rtype", "labels", "name")}
+                row["minute_bucket"] = int(record["ts"] // MINUTE)
+                row["metric_name"] = record["name"]
+                row["seq"] = next(self._seq)
+                if record.get("labels"):
+                    row["labels"] = json.dumps(record["labels"],
+                                               sort_keys=True)
+                metric_rows.append(row)
+            elif rtype == "span":
+                row = {k: v for k, v in record.items()
+                       if k not in ("rtype", "attrs")}
+                row["minute_bucket"] = int(record["ts"] // MINUTE)
+                if record.get("attrs"):
+                    row["attrs"] = json.dumps(record["attrs"], sort_keys=True,
+                                              default=str)
+                span_rows.append(row)
+        if metric_rows:
+            self.metrics_rows += self.cluster.write_batch(
+                "metrics_by_time", metric_rows)
+        if span_rows:
+            self.spans_rows += self.cluster.write_batch(
+                "spans_by_time", span_rows)
+
+    def process_available(self, max_records: int = 100_000) -> int:
+        """Poll, run complete batches, commit; returns records polled."""
+        records = self._consumer.poll(max_records)
+        if not records:
+            return 0
+        if self._epoch is None:
+            self._epoch = float(int(min(r.timestamp for r in records)))
+        latest = 0.0
+        for record in records:
+            self._input.push(record.value, record.timestamp - self._epoch)
+            latest = max(latest, record.timestamp - self._epoch)
+        self.ssc.advance_to(latest)
+        self._consumer.commit()
+        return len(records)
+
+    def flush(self) -> None:
+        """Force the open micro-batch out (freshness over batching)."""
+        self.ssc.advance(1)
+
+    @property
+    def lag(self) -> int:
+        return self._group.lag()
+
+
+class TelemetryPipeline:
+    """Snapshotter → bus topic → streaming ingest → cassdb, composed.
+
+    One ``run_once()`` per refresh tick does an interval-gated export,
+    publishes the records, drains the topic through the micro-batch
+    pipeline and flushes the open batch, so freshly exported telemetry
+    is immediately queryable through ``telemetry_series`` /
+    ``telemetry_spans``.  Because exports are at least *interval_s*
+    apart and the ingest clock is flushed past each batch, a later
+    export can never land in an already-finalized micro-batch.
+    """
+
+    def __init__(self, bus: "MessageBus", cluster: "Cluster",
+                 sc: "SparkletContext", *,
+                 registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 topic: str = TELEMETRY_TOPIC,
+                 interval_s: float = 1.0,
+                 group_id: str = "telemetry-ingest"):
+        self.snapshotter = TelemetrySnapshotter(
+            registry, tracer, interval_s=interval_s)
+        self.publisher = TelemetryPublisher(bus, topic)
+        self.ingestor = TelemetryIngestor(
+            bus, topic, cluster, sc,
+            batch_interval=min(1.0, max(interval_s, 0.01)),
+            group_id=group_id,
+        )
+
+    def run_once(self, now: float | None = None, *,
+                 force: bool = False) -> dict[str, int]:
+        """One export+ingest cycle; returns counts for dashboards."""
+        now = time.time() if now is None else now
+        if force:
+            metrics, spans = self.snapshotter.collect(now)
+        else:
+            metrics, spans = self.snapshotter.maybe_collect(now)
+        published = self.publisher.publish(metrics, spans)
+        polled = self.ingestor.process_available()
+        if polled:
+            self.ingestor.flush()
+        return {
+            "metric_records": len(metrics),
+            "span_records": len(spans),
+            "published": published,
+            "ingested": polled,
+            "metrics_rows": self.ingestor.metrics_rows,
+            "spans_rows": self.ingestor.spans_rows,
+        }

@@ -219,6 +219,12 @@ class MetricsRegistry:
         self._series: dict[str, Any] = {}
         self._per_name: dict[str, int] = {}
         self._max_series_per_name = max_series_per_name
+        # key -> (name, labels) so exporters can recover the structured
+        # identity of a series without re-parsing the composed key.
+        self._meta: dict[str, tuple[str, dict[str, Any]]] = {}
+        # name -> get-or-create calls redirected to the overflow series
+        # by the cardinality cap (bounded: one slot per metric name).
+        self._dropped: dict[str, int] = {}
 
     def _get_or_create(self, name: str, labels: Mapping[str, Any],
                        factory) -> Any:
@@ -230,12 +236,15 @@ class MetricsRegistry:
             if (labels
                     and self._per_name.get(name, 0)
                     >= self._max_series_per_name):
-                key = _series_key(name, {"overflow": "true"})
+                self._dropped[name] = self._dropped.get(name, 0) + 1
+                labels = {"overflow": "true"}
+                key = _series_key(name, labels)
                 metric = self._series.get(key)
                 if metric is not None:
                     return metric
             metric = factory()
             self._series[key] = metric
+            self._meta[key] = (name, dict(labels))
             self._per_name[name] = self._per_name.get(name, 0) + 1
             return metric
 
@@ -255,6 +264,23 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._series)
 
+    def collect(self) -> list[tuple[str, dict[str, Any], Any]]:
+        """Structured export: sorted ``(name, labels, metric)`` triples.
+
+        The exporters (:mod:`repro.obs.export`) build on this instead of
+        re-parsing the composed ``name{k=v,…}`` snapshot keys.
+        """
+        with self._lock:
+            items = sorted(self._meta.items())
+            return [(name, dict(labels), self._series[key])
+                    for key, (name, labels) in items]
+
+    def dropped_series(self) -> dict[str, int]:
+        """Per-name count of series requests the cardinality cap
+        redirected into the ``{overflow=true}`` series."""
+        with self._lock:
+            return dict(self._dropped)
+
     def __len__(self) -> int:
         return len(self._series)
 
@@ -264,6 +290,8 @@ class MetricsRegistry:
             metrics = list(self._series.values())
         for metric in metrics:
             metric._reset()
+        with self._lock:
+            self._dropped.clear()
 
     def clear(self) -> None:
         """Drop every series (isolated-registry tests only: cached
@@ -271,6 +299,8 @@ class MetricsRegistry:
         with self._lock:
             self._series.clear()
             self._per_name.clear()
+            self._meta.clear()
+            self._dropped.clear()
 
     def snapshot(self) -> dict[str, Any]:
         """One plain JSON-serializable dict of every series."""

@@ -27,6 +27,7 @@ Cost discipline:
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -63,7 +64,8 @@ class Span:
 
     __slots__ = ("tracer", "name", "attrs", "children", "status", "error",
                  "start", "end", "dropped_children", "dropped_attrs",
-                 "_root", "_token", "_span_budget")
+                 "_root", "_token", "_span_budget",
+                 "trace_id", "span_id", "parent_id", "wall_start")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
         self.tracer = tracer
@@ -79,6 +81,15 @@ class Span:
         self._root: Span = self  # overwritten for child spans
         self._token: contextvars.Token | None = None
         self._span_budget = 1  # spans in this trace; meaningful on roots
+        # Identity (set by the tracer): the trace this span belongs to,
+        # its own id, and its parent's id — the parent may live on the
+        # *other* side of a message broker (bus continuation links).
+        self.trace_id = 0
+        self.span_id = 0
+        self.parent_id: int | None = None
+        # Wall-clock start; set on roots only (children derive theirs
+        # from the root's wall clock plus the perf_counter offset).
+        self.wall_start: float | None = None
 
     # -- context-manager protocol --------------------------------------
 
@@ -122,12 +133,25 @@ class Span:
         end = self.end if self.end is not None else time.perf_counter()
         return (end - self.start) * 1000.0
 
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock start: the root's wall clock plus this span's
+        monotonic offset from the root (one ``time.time`` per trace)."""
+        root = self._root
+        base = root.wall_start if root.wall_start is not None else 0.0
+        return base + (self.start - root.start)
+
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "wall_time": self.wall_time,
             "duration_ms": self.duration_ms,
             "status": self.status,
         }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.error is not None:
@@ -160,14 +184,30 @@ class Tracer:
             contextvars.ContextVar("repro_obs_current_span", default=None)
         )
         self._traces: deque[dict[str, Any]] = deque(maxlen=max_traces)
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
 
     # -- span creation ---------------------------------------------------
 
-    def root_span(self, name: str, **attrs: Any) -> Span | NullSpan:
-        """Start a new trace (ignores any currently active span)."""
+    def root_span(self, name: str, *, trace_id: int | None = None,
+                  parent_id: int | None = None, **attrs: Any
+                  ) -> Span | NullSpan:
+        """Start a new trace (ignores any currently active span).
+
+        Passing *trace_id*/*parent_id* starts a **continuation** root:
+        a span that joins a trace whose earlier spans ran on the other
+        side of an async boundary (a bus topic) — both halves share one
+        trace id and the parent link crosses the broker.
+        """
         if not self.enabled:
             return NULL_SPAN
-        return Span(self, name, dict(list(attrs.items())[:self.max_attrs]))
+        span = Span(self, name, dict(list(attrs.items())[:self.max_attrs]))
+        span.trace_id = (trace_id if trace_id is not None
+                         else next(self._trace_ids))
+        span.span_id = next(self._span_ids)
+        span.parent_id = parent_id
+        span.wall_start = time.time()
+        return span
 
     def span(self, name: str, **attrs: Any) -> Span | NullSpan:
         """A child of the active span; a no-op when no trace is active.
@@ -189,6 +229,9 @@ class Tracer:
             root._span_budget += 1
             child = Span(self, name, dict(list(attrs.items())[:self.max_attrs]))
             child._root = root
+            child.trace_id = root.trace_id
+            child.span_id = next(self._span_ids)
+            child.parent_id = parent.span_id
             parent.children.append(child)
         return child
 

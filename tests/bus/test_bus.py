@@ -169,3 +169,40 @@ class TestConsumerGroups:
         assert group.lag() == 6  # poll alone doesn't commit
         c.commit()
         assert group.lag() == 0
+
+
+class TestTracePropagation:
+    def test_publish_stamps_active_trace(self, bus):
+        from repro import obs
+
+        tracer = obs.get_tracer()
+        with tracer.root_span("producer.emit") as root:
+            record = bus.publish("events", {"v": 1}, key="k", timestamp=1.0)
+        assert record.trace is not None
+        trace_id, span_id = record.trace
+        assert trace_id == root.trace_id
+        # The stamp is the bus.publish child span, not the root itself.
+        assert span_id != root.span_id
+
+    def test_publish_outside_trace_leaves_no_stamp(self, bus):
+        record = bus.publish("events", {"v": 1}, key="k", timestamp=1.0)
+        assert record.trace is None
+
+    def test_chaos_duplicates_share_the_stamp(self, bus):
+        from repro import obs
+
+        class DupGate:
+            def on_publish(self, topic):
+                return 1
+
+            def on_fetch(self, topic, partition):
+                return False
+
+        bus.chaos_gate = DupGate()
+        with obs.get_tracer().root_span("producer.emit"):
+            bus.publish("events", {"v": 2}, key="k", timestamp=1.0)
+        topic = bus.topic("events")
+        copies = [r for part in topic.partitions for r in part
+                  if r.value == {"v": 2}]
+        assert len(copies) == 2
+        assert copies[0].trace == copies[1].trace is not None

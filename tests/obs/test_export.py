@@ -1,0 +1,190 @@
+"""Unit tests for :mod:`repro.obs.export`: Prometheus text exposition,
+span JSONL export, and the delta-snapshot discipline."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    TelemetrySnapshotter,
+    iter_spans,
+    prometheus_name,
+    render_prometheus,
+    render_spans_jsonl,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("cassdb.node.reads") == "cassdb_node_reads"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_valid_name_unchanged(self):
+        assert prometheus_name("already_ok:name") == "already_ok:name"
+
+
+class TestRenderPrometheus:
+    def test_counter_exports_as_total(self, registry):
+        registry.counter("server.requests", op="heatmap").inc(3)
+        text = render_prometheus(registry)
+        assert "# TYPE server_requests_total counter" in text
+        assert 'server_requests_total{op="heatmap"} 3' in text
+
+    def test_label_value_escaping(self, registry):
+        registry.counter("c", q='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert r'q="a\"b\\c\nd"' in text
+
+    def test_histogram_buckets_cumulative_monotonic(self, registry):
+        h = registry.histogram("lat", buckets=(1, 5, 10))
+        for v in (0.5, 0.7, 3, 7, 99):
+            h.observe(v)
+        text = render_prometheus(registry)
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("lat_bucket")]
+        # The registry keeps per-bucket tallies; the exporter must
+        # accumulate them into cumulative le semantics.
+        assert counts == sorted(counts)
+        assert counts == [2, 3, 4, 5]
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+        assert "lat_sum" in text
+
+    def test_histogram_quantile_gauges(self, registry):
+        h = registry.histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        text = render_prometheus(registry)
+        assert "# TYPE lat_p50 gauge" in text
+        assert "lat_p95 95" in text
+        assert "lat_p99 99" in text
+
+    def test_dropped_series_surface_as_counter(self):
+        registry = MetricsRegistry(max_series_per_name=1)
+        registry.counter("hot", k="1").inc()
+        registry.counter("hot", k="2").inc()
+        registry.counter("hot", k="3").inc()
+        text = render_prometheus(registry)
+        assert 'obs_dropped_series_total{name="hot"} 2' in text
+        # The redirected increments still count, under {overflow="true"}.
+        assert 'hot_total{overflow="true"} 2' in text
+
+    def test_ends_with_newline(self, registry):
+        registry.counter("a").inc()
+        assert render_prometheus(registry).endswith("\n")
+
+
+class TestSpanExport:
+    def test_iter_spans_preserves_identity_and_links(self):
+        tracer = Tracer()
+        with tracer.root_span("server.request"):
+            with tracer.span("cassdb.read"):
+                with tracer.span("cassdb.node.read"):
+                    pass
+        records = list(iter_spans(tracer.last_trace()))
+        assert len(records) == 3
+        root = next(r for r in records if r["parent_id"] is None)
+        mid = next(r for r in records if r["name"] == "cassdb.read")
+        leaf = next(r for r in records if r["name"] == "cassdb.node.read")
+        assert root["name"] == "server.request"
+        assert mid["parent_id"] == root["span_id"]
+        assert leaf["parent_id"] == mid["span_id"]
+        assert {r["trace_id"] for r in records} == {root["trace_id"]}
+        assert root["component"] == "server"
+        assert mid["component"] == "cassdb"
+
+    def test_jsonl_one_parseable_object_per_span(self):
+        tracer = Tracer()
+        with tracer.root_span("a.b", rows=7):
+            with tracer.span("c.d"):
+                pass
+        text = render_spans_jsonl(tracer.traces())
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert {"trace_id", "span_id", "name", "component", "ts",
+                    "duration_ms", "status"} <= set(record)
+
+    def test_jsonl_empty_input(self):
+        assert render_spans_jsonl([]) == ""
+
+
+class TestDeltaSnapshotter:
+    def test_second_cycle_with_no_activity_emits_nothing(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(1.0)
+        with tracer.root_span("x.y"):
+            pass
+        snap = TelemetrySnapshotter(registry, tracer)
+        metrics1, spans1 = snap.collect(now=100.0)
+        assert {m["name"] for m in metrics1} == {"c", "g", "h"}
+        assert spans1
+        metrics2, spans2 = snap.collect(now=101.0)
+        assert metrics2 == []
+        assert spans2 == []
+
+    def test_counter_record_carries_delta_and_cumulative(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=False)
+        registry.counter("c").inc(5)
+        snap = TelemetrySnapshotter(registry, tracer)
+        snap.collect(now=1.0)
+        registry.counter("c").inc(2)
+        metrics, _ = snap.collect(now=2.0)
+        [m] = metrics
+        assert m["delta"] == 2
+        assert m["value"] == 7
+
+    def test_histogram_delta_count_and_sum(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=False)
+        registry.histogram("h").observe(1.0)
+        snap = TelemetrySnapshotter(registry, tracer)
+        snap.collect(now=1.0)
+        registry.histogram("h").observe(3.0)
+        registry.histogram("h").observe(5.0)
+        metrics, _ = snap.collect(now=2.0)
+        [m] = metrics
+        assert m["delta_count"] == 2
+        assert m["delta_sum"] == pytest.approx(8.0)
+        assert {"p50", "p95", "p99"} <= set(m)
+
+    def test_spans_exported_once(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with tracer.root_span("a.b"):
+            pass
+        snap = TelemetrySnapshotter(registry, tracer)
+        _, spans1 = snap.collect(now=1.0)
+        assert [s["name"] for s in spans1] == ["a.b"]
+        _, spans2 = snap.collect(now=2.0)
+        assert spans2 == []
+        with tracer.root_span("c.d"):
+            pass
+        _, spans3 = snap.collect(now=3.0)
+        assert [s["name"] for s in spans3] == ["c.d"]
+
+    def test_interval_gate(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = TelemetrySnapshotter(registry, Tracer(enabled=False),
+                                    interval_s=10.0)
+        metrics, _ = snap.maybe_collect(now=0.0)
+        assert metrics
+        registry.counter("c").inc()
+        assert snap.maybe_collect(now=5.0) == ([], [])
+        metrics, _ = snap.maybe_collect(now=10.0)
+        assert metrics

@@ -159,3 +159,49 @@ class TestBounds:
         trace = tracer.last_trace()
         assert len(trace["attrs"]) == 2
         assert trace["dropped_attrs"] == 2
+
+
+class TestTraceIdentity:
+    def test_root_and_children_share_a_trace_id(self):
+        tracer = Tracer()
+        with tracer.root_span("a") as root:
+            with tracer.span("b") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                assert child.span_id != root.span_id
+        with tracer.root_span("c") as root2:
+            pass
+        assert root2.trace_id != root.trace_id
+
+    def test_exported_dict_carries_identity(self):
+        tracer = Tracer()
+        with tracer.root_span("a"):
+            with tracer.span("b"):
+                pass
+        trace = tracer.last_trace()
+        child = trace["children"][0]
+        assert trace["trace_id"] == child["trace_id"]
+        assert child["parent_id"] == trace["span_id"]
+        assert "parent_id" not in trace
+
+    def test_continuation_root_joins_existing_trace(self):
+        tracer = Tracer()
+        with tracer.root_span("bus.publish.side") as pub:
+            link = (pub.trace_id, pub.span_id)
+        with tracer.root_span("consume.side", trace_id=link[0],
+                              parent_id=link[1]) as cont:
+            assert cont.trace_id == pub.trace_id
+            assert cont.parent_id == pub.span_id
+        first, second = tracer.traces()[-2:]
+        assert second["trace_id"] == first["trace_id"]
+        assert second["parent_id"] == first["span_id"]
+
+    def test_wall_time_offsets_follow_the_root(self):
+        tracer = Tracer()
+        with tracer.root_span("a") as root:
+            with tracer.span("b"):
+                pass
+        trace = tracer.last_trace()
+        assert root.wall_start is not None
+        assert trace["wall_time"] == root.wall_start
+        assert trace["children"][0]["wall_time"] >= trace["wall_time"]

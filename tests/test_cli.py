@@ -146,3 +146,45 @@ class TestTopology:
     def test_invalid(self):
         with pytest.raises(ValueError):
             main(["topology", "not-a-node"])
+
+
+class TestTop:
+    def test_once_json_frame(self, capsys):
+        rc = main(["top", "--once", "--json", "--hours", "0.2",
+                   "--rows", "1", "--cols", "1", "--seed", "5"])
+        assert rc == 0
+        frame = json.loads(capsys.readouterr().out.strip())
+        # Every number on the dashboard made the full loop: export →
+        # bus → streaming ingest → cassdb → read back.
+        assert frame["telemetry"]["metrics_rows"] > 0
+        assert frame["telemetry"]["spans_rows"] > 0
+        assert frame["telemetry"]["metrics_table_rows"] > 0
+        assert frame["health"]["status"] == "ok"
+        assert "server.requests" in {m["name"] for m in frame["metrics"]}
+        assert frame["slowest"]
+        assert frame["slowest"][0]["spans"] >= 2
+
+    def test_once_text_dashboard(self, capsys):
+        rc = main(["top", "--once", "--hours", "0.2",
+                   "--rows", "1", "--cols", "1", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "SLOWEST TRACES" in out
+        assert "server.requests" in out
+
+
+class TestSlowJson:
+    def test_stable_dump_diffs_clean(self, log_dir, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            rc = main(["metrics", str(log_dir / "console.log"),
+                       "--repeat", "2", "--slow-json", str(path)])
+            assert rc == 0
+            capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+        entries = json.loads(paths[0].read_text())
+        assert entries
+        for entry in entries:
+            assert "wall_time" not in entry
+            assert "elapsed_ms" not in entry
