@@ -30,7 +30,7 @@ import time
 from operator import itemgetter
 from concurrent.futures import ThreadPoolExecutor, as_completed, wait
 from enum import Enum
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro import obs
 
@@ -156,6 +156,8 @@ class Cluster:
         self._m_locality_reads = registry.counter("cassdb.locality.reads")
         self._m_scatter_gathers = registry.counter(
             "cassdb.coordinator.scatter_gathers")
+        self._m_agg_pushdown_partitions = registry.counter(
+            "cassdb.coordinator.agg_pushdown_partitions")
         self._m_parallel_replica_reads = registry.counter(
             "cassdb.coordinator.parallel_replica_reads")
         # Batched write path (S6 bench reads these).
@@ -663,12 +665,17 @@ class Cluster:
         upper: ClusteringBound | None = None,
         reverse: bool = False,
         limit: int | None = None,
+        columns: Sequence[str] | None = None,
         consistency: Consistency = Consistency.ONE,
     ) -> list[dict[str, Any]]:
         """Read rows of one partition as plain dicts, in clustering order.
 
         This is *the* fast path the data model is built around: a context
         query (hour+type, hour+source, …) touches exactly one partition.
+
+        ``columns`` is the projection-pushdown hook: when set, only those
+        columns are materialized out of the row (absent cells are simply
+        omitted, so ``row.get(col)`` reads as None downstream).
         """
         schema = self.schema(table)
         if isinstance(partition_values, Mapping):
@@ -682,9 +689,35 @@ class Cluster:
         rows = self._replicated_read(
             table, pk, lower, upper, reverse, limit, consistency
         )
-        return [
-            schema.rehydrate(pk_values, r.clustering, r.as_dict()) for r in rows
-        ]
+        if columns is None:
+            return [
+                schema.rehydrate(pk_values, r.clustering, r.as_dict())
+                for r in rows
+            ]
+        # Classify each projected column once, not once per row.
+        ck = schema.clustering_key
+        sources: list[tuple[str, Any]] = []
+        for col in columns:
+            if col in schema.partition_key:
+                sources.append(("pk", col))
+            elif col in ck:
+                sources.append(("ck", ck.index(col)))
+            else:
+                sources.append(("cell", col))
+        out: list[dict[str, Any]] = []
+        for r in rows:
+            d: dict[str, Any] = {}
+            for (kind, ref), col in zip(sources, columns):
+                if kind == "cell":
+                    cell = r.cells.get(ref)
+                    if cell is not None:
+                        d[col] = cell.value
+                elif kind == "ck":
+                    d[col] = r.clustering[ref]
+                else:
+                    d[col] = pk_values[ref]
+            out.append(d)
+        return out
 
     def select_partitions(
         self,
@@ -695,6 +728,7 @@ class Cluster:
         upper: ClusteringBound | None = None,
         reverse: bool = False,
         limit: int | None = None,
+        columns: Sequence[str] | None = None,
         consistency: Consistency = Consistency.ONE,
     ) -> list[list[dict[str, Any]]]:
         """Scatter-gather read of several partitions (IN-list fan-out).
@@ -708,7 +742,7 @@ class Cluster:
             return [
                 self.select_partition(
                     table, pv, lower=lower, upper=upper, reverse=reverse,
-                    limit=limit, consistency=consistency,
+                    limit=limit, columns=columns, consistency=consistency,
                 )
                 for pv in partition_values_list
             ]
@@ -722,8 +756,63 @@ class Cluster:
                 pool.submit(
                     contextvars.copy_context().run, self.select_partition,
                     table, pv, lower=lower, upper=upper, reverse=reverse,
-                    limit=limit, consistency=consistency,
+                    limit=limit, columns=columns, consistency=consistency,
                 )
+                for pv in partition_values_list
+            ]
+            try:
+                return [f.result() for f in futures]
+            except BaseException:
+                for f in futures:
+                    f.cancel()
+                raise
+
+    def aggregate_partitions(
+        self,
+        table: str,
+        partition_values_list: Sequence[Sequence[Any] | Mapping[str, Any]],
+        *,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        fold: Callable[[dict[str, Any], list[Row]], Any],
+        consistency: Consistency = Consistency.ONE,
+    ) -> list[Any]:
+        """Aggregate-pushdown read: fold each partition at the replica read.
+
+        ``fold(partition_values, rows)`` is applied to each partition's
+        live :class:`Row` objects *before* anything is shipped back — no
+        row dicts are built and no rows cross the coordinator boundary,
+        only the (small) partial each fold returns.  Partials come back
+        in input order; merging them is the caller's job (the query
+        engine's MergePartials operator).  Multi-partition calls
+        scatter-gather on the coordinator pool like
+        :meth:`select_partitions`.
+        """
+        schema = self.schema(table)
+        self._m_agg_pushdown_partitions.inc(len(partition_values_list))
+
+        def fold_one(pv: Sequence[Any] | Mapping[str, Any]) -> Any:
+            if isinstance(pv, Mapping):
+                pk = schema.partition_key_of(pv)
+                pk_values = {c: pv[c] for c in schema.partition_key}
+            else:
+                pk = schema.partition_key_from_tuple(pv)
+                pk_values = dict(zip(schema.partition_key, pv))
+            rows = self._replicated_read(
+                table, pk, lower, upper, False, None, consistency
+            )
+            return fold(pk_values, rows)
+
+        if len(partition_values_list) <= 1:
+            return [fold_one(pv) for pv in partition_values_list]
+        self._m_scatter_gathers.inc()
+        pool = self._scatter_pool
+        with obs.get_tracer().span(
+            "cassdb.aggregate_scatter", table=table,
+            partitions=len(partition_values_list),
+        ):
+            futures = [
+                pool.submit(contextvars.copy_context().run, fold_one, pv)
                 for pv in partition_values_list
             ]
             try:

@@ -1,43 +1,60 @@
-"""CQL-subset parser, planner and executor.
+"""Statement-level facade over :mod:`repro.cql` (the driver session).
 
 The paper's analytics server "translates data query requests received
 from the frontend and relays them to the backend database server in the
-form of Cassandra Query Language (CQL) queries" (§III).  This module
-implements the CQL subset that workload needs:
+form of Cassandra Query Language (CQL) queries" (§III).  The actual
+engine — tokenizer, parser, planner, optimizer, physical operators —
+lives in :mod:`repro.cql`; this module keeps the driver-shaped surface
+every caller already uses:
 
-* ``CREATE TABLE t (col type, ..., PRIMARY KEY ((pk...), ck...))``
-  optionally ``WITH CLUSTERING ORDER BY (ck DESC)``
-* ``INSERT INTO t (cols...) VALUES (vals...)``
-* ``SELECT cols FROM t WHERE pk = v AND ck >= v AND ck < v
-  [ORDER BY ck [ASC|DESC]] [LIMIT n]``
-* ``SELECT COUNT(*) FROM t WHERE …``
-* ``WHERE pk IN (v1, v2, …)`` on partition-key columns (multi-partition
-  fan-out, results in IN-list order)
-* ``DELETE FROM t WHERE <full primary key>``
-
-Restrictions mirror real CQL: every partition-key column must be
-equality-constrained in ``SELECT``/``DELETE``; range predicates are only
-allowed on the first clustering column; ``ORDER BY`` only on clustering
-columns.  Values may be literals (numbers, single-quoted strings,
-booleans) or ``?`` placeholders bound from ``params``.
+* :class:`Session` — ``execute()`` / ``plan()`` / ``explain()`` plus the
+  bounded LRU plan cache (keyed on :func:`normalize_cql`) whose
+  hit/miss/eviction counters feed the S5 benchmark;
+* the statement AST types (``Select``, ``Insert`` …) and
+  :func:`parse_statement`, re-exported for callers that inspect plans
+  (the server's result-cache gate, tests).
 """
 
 from __future__ import annotations
 
-import re
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro import obs
 
-from .cluster import Cluster, Consistency
-from .errors import InvalidQueryError, SchemaError
-from .row import ClusteringBound
-from .schema import TableSchema
+# Submodule imports (not the repro.cql package) so this module can load
+# while either package is still mid-initialization — repro.cql is
+# layered on repro.cassdb, and repro.cassdb re-exports this facade.
+from repro.cql.ast import (
+    AggregateCall,
+    CreateTable,
+    Delete,
+    Explain,
+    Insert,
+    Param,
+    Predicate,
+    Select,
+)
+from repro.cql.engine import Prepared, QueryEngine
+from repro.cql.lexer import normalize_cql
+from repro.cql.parser import parse_statement
 
-__all__ = ["Session", "normalize_cql", "parse_statement"]
+from .cluster import Cluster, Consistency
+
+__all__ = [
+    "AggregateCall",
+    "CreateTable",
+    "Delete",
+    "Explain",
+    "Insert",
+    "Param",
+    "Predicate",
+    "Select",
+    "Session",
+    "normalize_cql",
+    "parse_statement",
+]
 
 # Plan-cache health, shared across sessions (the frontend pattern is
 # many sessions issuing the same handful of statements).
@@ -46,416 +63,67 @@ _M_PLAN_MISSES = obs.get_registry().counter("cassdb.query.plan_cache_misses")
 _M_PLAN_EVICTIONS = obs.get_registry().counter(
     "cassdb.query.plan_cache_evictions")
 
-_QUOTED_RE = re.compile(r"('(?:[^']|'')*')")
-_WS_RE = re.compile(r"\s+")
-
-
-def normalize_cql(text: str) -> str:
-    """Whitespace-normalized statement text (the plan-cache key).
-
-    Collapses runs of whitespace *outside* single-quoted literals only —
-    ``'a  b'`` and ``'a b'`` are different values and must not share a
-    cache entry.
-    """
-    parts = _QUOTED_RE.split(text)
-    # Odd indices are the quoted literals, preserved verbatim.
-    return "".join(
-        seg if i % 2 else _WS_RE.sub(" ", seg)
-        for i, seg in enumerate(parts)
-    ).strip()
-
-_TOKEN_RE = re.compile(
-    r"""
-    \s*(
-        '(?:[^']|'')*'          # single-quoted string ('' escapes ')
-      | -?\d+\.\d+              # float
-      | -?\d+                   # int
-      | [A-Za-z_][A-Za-z0-9_]*  # identifier / keyword
-      | <= | >= | != | [(),=<>*?;]
-    )
-    """,
-    re.VERBOSE,
-)
-
-_KEYWORDS = {
-    "create", "table", "insert", "into", "values", "select", "from",
-    "where", "and", "order", "by", "limit", "delete", "primary", "key",
-    "with", "clustering", "asc", "desc", "if", "not", "exists", "allow",
-    "filtering", "count", "in",
-}
-
-
-def _tokenize(text: str) -> list[str]:
-    tokens: list[str] = []
-    pos = 0
-    while pos < len(text):
-        m = _TOKEN_RE.match(text, pos)
-        if not m:
-            if text[pos:].strip():
-                raise InvalidQueryError(
-                    f"cannot tokenize near: {text[pos:pos + 30]!r}"
-                )
-            break
-        tokens.append(m.group(1))
-        pos = m.end()
-    return tokens
-
-
-class _TokenStream:
-    def __init__(self, tokens: list[str]):
-        self.tokens = tokens
-        self.pos = 0
-
-    def peek(self) -> str | None:
-        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
-
-    def next(self) -> str:
-        tok = self.peek()
-        if tok is None:
-            raise InvalidQueryError("unexpected end of statement")
-        self.pos += 1
-        return tok
-
-    def expect(self, *expected: str) -> str:
-        tok = self.next()
-        if tok.lower() not in expected and tok not in expected:
-            raise InvalidQueryError(f"expected {'/'.join(expected)}, got {tok!r}")
-        return tok
-
-    def accept(self, *options: str) -> str | None:
-        tok = self.peek()
-        if tok is not None and (tok.lower() in options or tok in options):
-            self.pos += 1
-            return tok
-        return None
-
-    def done(self) -> bool:
-        # Trailing semicolons are permitted.
-        return self.pos >= len(self.tokens) or all(
-            t == ";" for t in self.tokens[self.pos:]
-        )
-
-
-def _literal(token: str) -> Any:
-    if token.startswith("'"):
-        return token[1:-1].replace("''", "'")
-    if re.fullmatch(r"-?\d+", token):
-        return int(token)
-    if re.fullmatch(r"-?\d+\.\d+", token):
-        return float(token)
-    low = token.lower()
-    if low == "true":
-        return True
-    if low == "false":
-        return False
-    raise InvalidQueryError(f"expected a literal, got {token!r}")
-
-
-# --------------------------------------------------------------------------
-# Statement ASTs
-# --------------------------------------------------------------------------
-
-@dataclass
-class CreateTable:
-    schema: TableSchema
-    if_not_exists: bool = False
-
-
-@dataclass
-class Insert:
-    table: str
-    columns: list[str]
-    values: list[Any]  # literals, or _Placeholder
-
-
-@dataclass
-class Predicate:
-    column: str
-    op: str  # '=', '<', '<=', '>', '>='
-    value: Any
-
-
-@dataclass
-class Select:
-    table: str
-    columns: list[str] | None  # None == '*'
-    predicates: list[Predicate] = field(default_factory=list)
-    order_by: tuple[str, str] | None = None  # (column, 'asc'|'desc')
-    limit: Any = None
-    count_star: bool = False
-
-
-@dataclass
-class Delete:
-    table: str
-    predicates: list[Predicate] = field(default_factory=list)
-
-
-class _Placeholder:
-    _instance: "_Placeholder | None" = None
-
-    def __new__(cls):
-        if cls._instance is None:
-            cls._instance = super().__new__(cls)
-        return cls._instance
-
-    def __repr__(self):
-        return "?"
-
-
-PLACEHOLDER = _Placeholder()
-
-
-# --------------------------------------------------------------------------
-# Parser
-# --------------------------------------------------------------------------
-
-def parse_statement(text: str) -> CreateTable | Insert | Select | Delete:
-    """Parse one CQL statement into its AST."""
-    ts = _TokenStream(_tokenize(text))
-    head = ts.next().lower()
-    if head == "create":
-        stmt = _parse_create(ts)
-    elif head == "insert":
-        stmt = _parse_insert(ts)
-    elif head == "select":
-        stmt = _parse_select(ts)
-    elif head == "delete":
-        stmt = _parse_delete(ts)
-    else:
-        raise InvalidQueryError(f"unsupported statement: {head.upper()}")
-    if not ts.done():
-        raise InvalidQueryError(
-            f"trailing tokens: {' '.join(ts.tokens[ts.pos:])!r}"
-        )
-    return stmt
-
-
-def _parse_value(ts: _TokenStream) -> Any:
-    tok = ts.next()
-    if tok == "?":
-        return PLACEHOLDER
-    return _literal(tok)
-
-
-def _parse_identifier(ts: _TokenStream) -> str:
-    tok = ts.next()
-    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok) or tok.lower() in _KEYWORDS:
-        raise InvalidQueryError(f"expected identifier, got {tok!r}")
-    return tok
-
-
-def _parse_create(ts: _TokenStream) -> CreateTable:
-    ts.expect("table")
-    if_not_exists = False
-    if ts.accept("if"):
-        ts.expect("not")
-        ts.expect("exists")
-        if_not_exists = True
-    name = _parse_identifier(ts)
-    ts.expect("(")
-    partition: list[str] = []
-    clustering: list[str] = []
-    saw_primary = False
-    while True:
-        tok = ts.peek()
-        if tok is None:
-            raise InvalidQueryError("unterminated CREATE TABLE column list")
-        if tok.lower() == "primary":
-            ts.next()
-            ts.expect("key")
-            ts.expect("(")
-            if ts.accept("("):  # composite partition key
-                partition.append(_parse_identifier(ts))
-                while ts.accept(","):
-                    partition.append(_parse_identifier(ts))
-                ts.expect(")")
-            else:
-                partition.append(_parse_identifier(ts))
-            while ts.accept(","):
-                clustering.append(_parse_identifier(ts))
-            ts.expect(")")
-            saw_primary = True
-        else:
-            _parse_identifier(ts)       # column name
-            _parse_identifier(ts)       # column type (parsed, not enforced)
-        if ts.accept(")"):
-            break
-        ts.expect(",")
-    order = "asc"
-    if ts.accept("with"):
-        ts.expect("clustering")
-        ts.expect("order")
-        ts.expect("by")
-        ts.expect("(")
-        _parse_identifier(ts)
-        tok = ts.accept("asc", "desc")
-        if tok:
-            order = tok.lower()
-        ts.expect(")")
-    if not saw_primary:
-        raise InvalidQueryError(f"CREATE TABLE {name}: PRIMARY KEY required")
-    return CreateTable(
-        TableSchema(
-            name=name,
-            partition_key=tuple(partition),
-            clustering_key=tuple(clustering),
-            clustering_order=order,
-        ),
-        if_not_exists=if_not_exists,
-    )
-
-
-def _parse_insert(ts: _TokenStream) -> Insert:
-    ts.expect("into")
-    table = _parse_identifier(ts)
-    ts.expect("(")
-    columns = [_parse_identifier(ts)]
-    while ts.accept(","):
-        columns.append(_parse_identifier(ts))
-    ts.expect(")")
-    ts.expect("values")
-    ts.expect("(")
-    values = [_parse_value(ts)]
-    while ts.accept(","):
-        values.append(_parse_value(ts))
-    ts.expect(")")
-    if len(columns) != len(values):
-        raise InvalidQueryError(
-            f"INSERT INTO {table}: {len(columns)} columns vs {len(values)} values"
-        )
-    return Insert(table, columns, values)
-
-
-def _parse_predicates(ts: _TokenStream) -> list[Predicate]:
-    preds = [_parse_predicate(ts)]
-    while ts.accept("and"):
-        preds.append(_parse_predicate(ts))
-    return preds
-
-
-def _parse_predicate(ts: _TokenStream) -> Predicate:
-    column = _parse_identifier(ts)
-    if ts.accept("in"):
-        ts.expect("(")
-        values = [_parse_value(ts)]
-        while ts.accept(","):
-            values.append(_parse_value(ts))
-        ts.expect(")")
-        return Predicate(column, "in", values)
-    op = ts.next()
-    if op not in ("=", "<", "<=", ">", ">="):
-        raise InvalidQueryError(f"unsupported operator {op!r}")
-    return Predicate(column, op, _parse_value(ts))
-
-
-def _parse_select(ts: _TokenStream) -> Select:
-    count_star = False
-    if ts.accept("count"):
-        ts.expect("(")
-        ts.expect("*")
-        ts.expect(")")
-        columns = None
-        count_star = True
-    elif ts.accept("*"):
-        columns = None
-    else:
-        columns = [_parse_identifier(ts)]
-        while ts.accept(","):
-            columns.append(_parse_identifier(ts))
-    ts.expect("from")
-    table = _parse_identifier(ts)
-    predicates: list[Predicate] = []
-    if ts.accept("where"):
-        predicates = _parse_predicates(ts)
-    order_by = None
-    if ts.accept("order"):
-        ts.expect("by")
-        col = _parse_identifier(ts)
-        direction = ts.accept("asc", "desc") or "asc"
-        order_by = (col, direction.lower())
-    limit = None
-    if ts.accept("limit"):
-        limit = _parse_value(ts)
-    ts.accept("allow")  # ALLOW FILTERING accepted and ignored
-    ts.accept("filtering")
-    return Select(table, columns, predicates, order_by, limit,
-                  count_star=count_star)
-
-
-def _parse_delete(ts: _TokenStream) -> Delete:
-    ts.expect("from")
-    table = _parse_identifier(ts)
-    ts.expect("where")
-    return Delete(table, _parse_predicates(ts))
-
-
-# --------------------------------------------------------------------------
-# Planner / executor
-# --------------------------------------------------------------------------
-
-def _bind(values: list[Any], params: Sequence[Any]) -> list[Any]:
-    it = iter(params)
-    bound = []
-    for v in values:
-        if v is PLACEHOLDER:
-            try:
-                bound.append(next(it))
-            except StopIteration:
-                raise InvalidQueryError("not enough bind parameters") from None
-        else:
-            bound.append(v)
-    leftover = sum(1 for _ in it)
-    if leftover:
-        raise InvalidQueryError(f"{leftover} unused bind parameters")
-    return bound
-
 
 class Session:
     """Statement-level facade over a :class:`Cluster` (driver session).
 
     Statements are planned through a bounded LRU cache keyed on the
     normalized statement text, so the frontend's repeated point-in-time
-    SELECTs (same CQL, different ``?`` bindings) tokenize and parse once.
+    SELECTs (same CQL, different ``?`` bindings) run the full
+    tokenize → parse → plan → optimize → compile pipeline once.
     ``plan_cache_size=0`` disables caching (benchmark baseline).
+
+    ``sparklet`` (a :class:`SparkletContext`) lets unrouted aggregate
+    queries compile to DAG jobs; without one they fall back to a serial
+    table scan.  ``disabled_rules`` switches off optimizer passes by
+    name — the S9 benchmark uses it to measure the pushdown win.
     """
 
     def __init__(self, cluster: Cluster,
                  consistency: Consistency = Consistency.ONE,
-                 plan_cache_size: int = 256):
+                 plan_cache_size: int = 256, *,
+                 sparklet: Any = None,
+                 disabled_rules: frozenset[str] = frozenset()):
         self.cluster = cluster
         self.consistency = consistency
         self.plan_cache_size = plan_cache_size
-        self._plan_cache: OrderedDict[
-            str, CreateTable | Insert | Select | Delete] = OrderedDict()
+        self.engine = QueryEngine(
+            cluster, sparklet=sparklet, disabled_rules=disabled_rules)
+        self._plan_cache: OrderedDict[str, Prepared] = OrderedDict()
         self._plan_lock = threading.Lock()
 
     # -- plan cache ----------------------------------------------------------
 
-    def plan(self, statement: str) -> CreateTable | Insert | Select | Delete:
-        """The (possibly cached) AST for *statement*.
+    def prepare(self, statement: str) -> Prepared:
+        """The (possibly cached) fully planned statement.
 
-        The returned AST is shared between executions and must be treated
-        as immutable; binding always builds fresh value lists.
+        Cached :class:`Prepared` objects are shared between executions
+        and must be treated as immutable; parameter binding happens in a
+        per-execution :class:`Runtime`, never on the plan.
         """
         if self.plan_cache_size <= 0:
-            return parse_statement(statement)
+            return self.engine.prepare(statement)
         key = normalize_cql(statement)
         with self._plan_lock:
-            stmt = self._plan_cache.get(key)
-            if stmt is not None:
+            prepared = self._plan_cache.get(key)
+            if prepared is not None:
                 self._plan_cache.move_to_end(key)
                 _M_PLAN_HITS.inc()
-                return stmt
+                return prepared
         _M_PLAN_MISSES.inc()
-        stmt = parse_statement(statement)
+        prepared = self.engine.prepare(statement)
         with self._plan_lock:
-            self._plan_cache[key] = stmt
+            self._plan_cache[key] = prepared
             self._plan_cache.move_to_end(key)
             while len(self._plan_cache) > self.plan_cache_size:
                 self._plan_cache.popitem(last=False)
                 _M_PLAN_EVICTIONS.inc()
-        return stmt
+        return prepared
+
+    def plan(self, statement: str):
+        """The (possibly cached) AST for *statement* (back-compat view
+        of :meth:`prepare` — identity is cache identity)."""
+        return self.prepare(statement).ast
 
     def clear_plan_cache(self) -> None:
         with self._plan_lock:
@@ -465,190 +133,20 @@ class Session:
     def plan_cache_len(self) -> int:
         return len(self._plan_cache)
 
+    # -- execution -----------------------------------------------------------
+
     def execute(
         self, statement: str, params: Sequence[Any] = (),
         consistency: Consistency | None = None,
     ) -> list[dict[str, Any]]:
         """Plan (cached), bind and run one statement; SELECTs return row
         dicts."""
-        cl = consistency or self.consistency
-        stmt = self.plan(statement)
-        if isinstance(stmt, CreateTable):
-            if params:
-                raise InvalidQueryError("CREATE TABLE takes no parameters")
-            try:
-                self.cluster.create_table(stmt.schema)
-            except SchemaError:
-                if not stmt.if_not_exists:
-                    raise
-            return []
-        if isinstance(stmt, Insert):
-            values = dict(zip(stmt.columns, _bind(stmt.values, params)))
-            self.cluster.insert(stmt.table, values, cl)
-            return []
-        if isinstance(stmt, Delete):
-            return self._execute_delete(stmt, params, cl)
-        return self._execute_select(stmt, params, cl)
-
-    # -- SELECT -------------------------------------------------------------
-
-    @staticmethod
-    def _bind_predicates(predicates: list[Predicate], params: Sequence[Any]
-                         ) -> list[Predicate]:
-        """Bind ``?`` placeholders, including inside IN lists."""
-        it = iter(params)
-
-        def bind_one(value):
-            if value is PLACEHOLDER:
-                try:
-                    return next(it)
-                except StopIteration:
-                    raise InvalidQueryError(
-                        "not enough bind parameters") from None
-            return value
-
-        out = []
-        for p in predicates:
-            if p.op == "in":
-                out.append(Predicate(p.column, "in",
-                                     [bind_one(v) for v in p.value]))
-            else:
-                out.append(Predicate(p.column, p.op, bind_one(p.value)))
-        leftover = sum(1 for _ in it)
-        if leftover:
-            raise InvalidQueryError(f"{leftover} unused bind parameters")
-        return out
-
-    def _split_predicates(
-        self, schema: TableSchema, predicates: list[Predicate], params: Sequence[Any]
-    ) -> tuple[list[list[Any]], ClusteringBound | None,
-               ClusteringBound | None, list[Predicate]]:
-        """Split WHERE into partition-key constraints (one or more key
-        tuples — IN fans out), clustering bounds and residual
-        (post-filter) predicates, enforcing CQL restrictions."""
-        preds = self._bind_predicates(predicates, params)
-        key_values: dict[str, list[Any]] = {}
-        lower: ClusteringBound | None = None
-        upper: ClusteringBound | None = None
-        residual: list[Predicate] = []
-        first_ck = schema.clustering_key[0] if schema.clustering_key else None
-        for p in preds:
-            if p.column in schema.partition_key:
-                if p.op == "=":
-                    key_values[p.column] = [p.value]
-                elif p.op == "in":
-                    key_values[p.column] = list(p.value)
-                else:
-                    raise InvalidQueryError(
-                        f"partition key column {p.column!r} only supports "
-                        "'=' or IN"
-                    )
-            elif p.column == first_ck and p.op != "in":
-                if p.op == "=":
-                    lower = ClusteringBound((p.value,), inclusive=True)
-                    upper = ClusteringBound((p.value,), inclusive=True)
-                elif p.op in (">", ">="):
-                    lower = ClusteringBound((p.value,), p.op == ">=")
-                else:
-                    upper = ClusteringBound((p.value,), p.op == "<=")
-            else:
-                residual.append(p)
-        missing = [c for c in schema.partition_key if c not in key_values]
-        if missing:
-            raise InvalidQueryError(
-                f"partition key columns {missing} must be constrained by "
-                "'=' or IN"
-            )
-        # Cartesian product of per-column value lists, in IN-list order.
-        import itertools as _it
-
-        pk_tuples = [
-            list(combo) for combo in _it.product(
-                *(key_values[c] for c in schema.partition_key)
-            )
-        ]
-        return pk_tuples, lower, upper, residual
-
-    @staticmethod
-    def _matches(row: dict[str, Any], pred: Predicate) -> bool:
-        val = row.get(pred.column)
-        if val is None:
-            return False
-        if pred.op == "=":
-            return val == pred.value
-        if pred.op == "in":
-            return val in pred.value
-        if pred.op == "<":
-            return val < pred.value
-        if pred.op == "<=":
-            return val <= pred.value
-        if pred.op == ">":
-            return val > pred.value
-        return val >= pred.value
-
-    def _execute_select(
-        self, stmt: Select, params: Sequence[Any], cl: Consistency
-    ) -> list[dict[str, Any]]:
-        schema = self.cluster.schema(stmt.table)
-        pk_tuples, lower, upper, residual = self._split_predicates(
-            schema, stmt.predicates, params
+        return self.engine.execute(
+            self.prepare(statement), params,
+            consistency or self.consistency,
         )
-        reverse = False
-        if stmt.order_by is not None:
-            col, direction = stmt.order_by
-            if not schema.clustering_key or col != schema.clustering_key[0]:
-                raise InvalidQueryError(
-                    "ORDER BY is only supported on the first clustering column"
-                )
-            reverse = direction == "desc"
-        limit = stmt.limit
-        if limit is PLACEHOLDER:
-            raise InvalidQueryError("LIMIT placeholder binding is unsupported")
-        # IN fans out to several partitions; results concatenate in
-        # IN-list order, each partition internally clustering-ordered
-        # (Cassandra's multi-partition semantics).  The coordinator
-        # scatter-gathers the fan-out concurrently.  The partition-level
-        # limit push-down only applies to single-partition, no-residual
-        # queries.
-        pushdown = limit if (not residual and len(pk_tuples) == 1) else None
-        partition_rows = self.cluster.select_partitions(
-            stmt.table,
-            pk_tuples,
-            lower=lower,
-            upper=upper,
-            reverse=reverse,
-            limit=pushdown,
-            consistency=cl,
-        )
-        rows: list[dict[str, Any]] = []
-        for plist in partition_rows:
-            rows.extend(plist)
-        if residual:
-            rows = [r for r in rows if all(self._matches(r, p) for p in residual)]
-        if limit is not None:
-            rows = rows[:limit]
-        if stmt.count_star:
-            return [{"count": len(rows)}]
-        if stmt.columns is not None:
-            rows = [{c: r.get(c) for c in stmt.columns} for r in rows]
-        return rows
 
-    # -- DELETE -------------------------------------------------------------
-
-    def _execute_delete(
-        self, stmt: Delete, params: Sequence[Any], cl: Consistency
-    ) -> list[dict[str, Any]]:
-        schema = self.cluster.schema(stmt.table)
-        bound_vals = _bind([p.value for p in stmt.predicates], params)
-        values: dict[str, Any] = {}
-        for p, v in zip(stmt.predicates, bound_vals):
-            if p.op != "=":
-                raise InvalidQueryError("DELETE supports only '=' predicates")
-            values[p.column] = v
-        needed = set(schema.partition_key) | set(schema.clustering_key)
-        if set(values) != needed:
-            raise InvalidQueryError(
-                f"DELETE requires the full primary key {sorted(needed)}"
-            )
-        self.cluster.delete_row(stmt.table, values, cl)
-        return []
+    def explain(self, statement: str) -> dict[str, Any]:
+        """The optimized plan for *statement* as a stable JSON tree
+        (the ``EXPLAIN`` payload, with or without the keyword)."""
+        return self.engine.explain_json(self.prepare(statement))

@@ -15,6 +15,8 @@ paper's workflow without writing Python:
   ``metrics_by_time``/``spans_by_time``, rendered as a text dashboard
   (``--once``/``--json`` for scripts and CI);
 * ``topology`` — inspect the Titan coordinate system;
+* ``explain``  — show the optimized query plan for a CQL statement
+  against the paper's data model (``--json`` for the raw plan tree);
 * ``chaos``    — run the deterministic fault-injection scenarios and
   check their resilience invariants (``chaos list`` names them).
 
@@ -119,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     topo = sub.add_parser("topology", help="inspect Titan coordinates")
     topo.add_argument("query", help="a cname (c3-17c1s5n2) or node index")
+
+    exp = sub.add_parser(
+        "explain",
+        help="show the optimized query plan for a CQL statement")
+    exp.add_argument("statement",
+                     help="a CQL statement (a leading EXPLAIN is optional)")
+    exp.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the raw plan JSON instead of the tree")
 
     chaos = sub.add_parser(
         "chaos", help="deterministic fault injection + invariant checks")
@@ -430,6 +440,27 @@ def _cmd_top(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    """Plan a statement against the paper's eight-table data model and
+    render the optimized operator tree (or --json for the raw payload)."""
+    from repro.cql import CQLError, render_plan_text
+
+    fw = LogAnalyticsFramework(TitanTopology(rows=1, cols=1),
+                               db_nodes=2).setup(load_nodeinfos=False)
+    try:
+        plan = fw.explain(args.statement)
+    except CQLError as exc:
+        print(json.dumps(exc.payload(), indent=2), file=sys.stderr)
+        return 2
+    finally:
+        fw.stop()
+    if args.as_json:
+        print(json.dumps(plan, indent=2, sort_keys=True))
+    else:
+        print(render_plan_text(plan))
+    return 0
+
+
 def _cmd_topology(args) -> int:
     query = args.query
     loc = (NodeLocation.from_index(int(query)) if query.isdigit()
@@ -480,6 +511,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "top": _cmd_top,
     "topology": _cmd_topology,
+    "explain": _cmd_explain,
     "chaos": _cmd_chaos,
 }
 

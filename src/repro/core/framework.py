@@ -106,7 +106,10 @@ class LogAnalyticsFramework:
         )
         self.model = LogDataModel(self.cluster)
         self.sc = SparkletContext(cluster=self.cluster, placement=placement)
-        self.session = Session(self.cluster, consistency)
+        # The session gets the sparklet context so unrouted aggregate
+        # queries compile to DAG jobs (the paper's query split: simple
+        # queries to the store, complex ones to the big-data engine).
+        self.session = Session(self.cluster, consistency, sparklet=self.sc)
         self.system_map = PhysicalSystemMap(self.topology)
         self._ready = False
 
@@ -408,3 +411,7 @@ class LogAnalyticsFramework:
             ) -> list[dict[str, Any]]:
         """Run one CQL statement against the backend (power users)."""
         return self.session.execute(statement, params)
+
+    def explain(self, statement: str) -> dict[str, Any]:
+        """The optimized query plan as a stable JSON tree (EXPLAIN)."""
+        return self.session.explain(statement)

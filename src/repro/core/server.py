@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import obs
 from repro.cassdb.query import Delete, Insert, Select, normalize_cql
+from repro.cql import CQLError
 
 from .context import Context
 from .framework import LogAnalyticsFramework
@@ -48,7 +49,7 @@ _CACHE_STATUS: contextvars.ContextVar[str | None] = contextvars.ContextVar(
 
 SIMPLE_OPS = frozenset({
     "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
-    "metrics", "trace", "slow_queries",
+    "explain", "metrics", "trace", "slow_queries",
     "telemetry_series", "telemetry_spans", "health",
 })
 COMPLEX_OPS = frozenset({
@@ -186,6 +187,11 @@ class AnalyticsServer:
                 self._m_errors.inc()
                 response = {"ok": False,
                             "error": f"{type(exc).__name__}: {exc}"}
+                if isinstance(exc, CQLError):
+                    # Structured syntax/planning errors (1-based line/
+                    # column + offending token) so frontends can point
+                    # at the statement instead of regexing the string.
+                    response["error_detail"] = exc.payload()
                 span.mark_error(response["error"])
             span.set(outcome=outcome)
         cache_status = _CACHE_STATUS.get()
@@ -282,6 +288,14 @@ class AnalyticsServer:
                               epoch_of=epoch_of)
         _CACHE_STATUS.set("miss")
         return _PreSerialized(payload)
+
+    def _op_explain(self, request):
+        """The optimized plan for a statement as a stable JSON tree
+        (works with or without a leading ``EXPLAIN`` keyword)."""
+        statement = request.get("statement")
+        if not statement:
+            raise ValueError("explain requires 'statement'")
+        return self.framework.session.explain(statement)
 
     # -- observability ops ----------------------------------------------------
 

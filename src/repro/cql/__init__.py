@@ -1,0 +1,72 @@
+"""repro.cql — the CQL query engine.
+
+The paper's analytics server "translates data query requests received
+from the frontend and relays them to the backend database server in the
+form of Cassandra Query Language (CQL) queries" (§III), routing simple
+queries straight to the database and complex ones to the big-data
+engine.  This package is that translation layer grown into a real
+engine, modeled on the Opteryx pipeline:
+
+    statement text
+        │  tokenize                 (lexer.py — positions survive)
+        ▼
+    token stream
+        │  recursive-descent parse  (parser.py)
+        ▼
+    typed AST                       (ast.py — SELECT/INSERT/DELETE/
+        │  lower against schema      CREATE TABLE/EXPLAIN)
+        ▼
+    logical plan                    (logical.py)
+        │  rule passes              (optimizer.py — predicate/projection/
+        ▼                            limit pushdown, partition routing,
+    optimized logical plan           partial-aggregate pushdown)
+        │  compile                  (physical.py)
+        ▼
+    physical operator DAG — executes against cassdb directly, or as a
+    sparklet job for full-table aggregations (engine.py)
+
+``EXPLAIN <stmt>`` returns the optimized plan as a stable JSON tree;
+:func:`render_plan_text` pretty-prints it for the CLI.
+"""
+
+# Load the storage layer first: repro.cassdb.query imports this
+# package's submodules, so cassdb (and with it those submodules) must
+# finish initializing before the re-exports below resolve — regardless
+# of whether the application imported repro.cql or repro.cassdb first.
+import repro.cassdb  # noqa: F401  (import-order anchor, see above)
+
+from .ast import (
+    AggregateCall,
+    CreateTable,
+    Delete,
+    Explain,
+    Insert,
+    Param,
+    Predicate,
+    Select,
+)
+from .engine import Prepared, QueryEngine, render_plan_text
+from .errors import CQLError, CQLPlanningError, CQLSyntaxError
+from .lexer import Token, normalize_cql, tokenize
+from .parser import parse_statement
+
+__all__ = [
+    "AggregateCall",
+    "CQLError",
+    "CQLPlanningError",
+    "CQLSyntaxError",
+    "CreateTable",
+    "Delete",
+    "Explain",
+    "Insert",
+    "Param",
+    "Predicate",
+    "Prepared",
+    "QueryEngine",
+    "Select",
+    "Token",
+    "normalize_cql",
+    "parse_statement",
+    "render_plan_text",
+    "tokenize",
+]

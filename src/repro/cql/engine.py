@@ -1,0 +1,213 @@
+"""The query engine: text → Prepared (AST + optimized physical plan).
+
+``QueryEngine.prepare`` runs the whole pipeline once per distinct
+statement —
+
+    tokenize → parse → lower (schema-checked logical plan)
+            → optimize (rule passes) → compile (physical operators)
+
+— under a ``cql.plan`` trace span, and returns a :class:`Prepared`
+that callers cache (see :class:`repro.cassdb.query.Session`) and
+execute many times with different bind parameters.
+
+``EXPLAIN <stmt>`` prepares the inner statement the same way but swaps
+the physical root for an operator that returns the optimized plan as a
+single JSON row instead of executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro import obs
+from repro.cassdb.cluster import Cluster, Consistency
+from repro.cassdb.errors import InvalidQueryError
+
+from .ast import (
+    CreateTable,
+    Delete,
+    Explain,
+    Insert,
+    Select,
+    Statement,
+)
+from .errors import CQLPlanningError
+from .lexer import normalize_cql
+from .logical import lower_delete, lower_insert, lower_select
+from .optimizer import RULE_NAMES, optimize
+from .parser import parse_statement
+from .physical import PhysicalOp, Runtime, compile_plan
+
+__all__ = ["Prepared", "QueryEngine", "render_plan_text"]
+
+_TRACER = obs.get_tracer()
+
+
+@dataclass
+class Prepared:
+    """A fully planned statement, safe to share across executions.
+
+    ``ast`` is what :meth:`Session.plan` hands back (the public,
+    inspectable form); ``physical`` is the compiled operator tree;
+    ``rules`` records which optimizer rules fired (and how often) while
+    planning — the same counts EXPLAIN reports.
+    """
+
+    text: str                      # normalized statement text
+    ast: Statement
+    kind: str                      # create|insert|select|delete|explain
+    physical: PhysicalOp
+    n_params: int
+    rules: dict[str, int] = field(default_factory=dict)
+    table: str | None = None
+
+
+class _ExplainExec(PhysicalOp):
+    """Physical root of an EXPLAIN: returns the plan, runs nothing."""
+
+    name = "Explain"
+
+    def __init__(self, plan_json: dict[str, Any]):
+        self.plan_json = plan_json
+
+    def execute(self, rt: Runtime) -> list[dict[str, Any]]:
+        return [self.plan_json]
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"of": self.plan_json["kind"]}
+
+
+class QueryEngine:
+    """Plans and executes CQL against a cassdb cluster, optionally
+    routing full-scan aggregations through a sparklet context."""
+
+    def __init__(self, cluster: Cluster, *, sparklet: Any = None,
+                 disabled_rules: frozenset[str] = frozenset()):
+        unknown = set(disabled_rules) - set(RULE_NAMES)
+        if unknown:
+            raise ValueError(f"unknown optimizer rules: {sorted(unknown)}")
+        if "partition_key_routing" in disabled_rules:
+            # Without routing no scan is executable; the rule is the
+            # planner's correctness gate, not an optional optimization.
+            raise ValueError("partition_key_routing cannot be disabled")
+        self.cluster = cluster
+        self.sparklet = sparklet
+        self.disabled_rules = frozenset(disabled_rules)
+
+    # -- planning ----------------------------------------------------------
+
+    def prepare(self, statement: str) -> Prepared:
+        text = normalize_cql(statement)
+        with _TRACER.span("cql.plan", statement=text):
+            return self._prepare_ast(text, parse_statement(statement))
+
+    def _prepare_ast(self, text: str, stmt: Statement) -> Prepared:
+        if isinstance(stmt, Explain):
+            # Report the inner statement's text, not the EXPLAIN wrapper.
+            inner_text = text.split(" ", 1)[1] if " " in text else text
+            inner = self._prepare_ast(inner_text, stmt.statement)
+            plan_json = self._explain_json(inner)
+            return Prepared(text=text, ast=stmt, kind="explain",
+                            physical=_ExplainExec(plan_json), n_params=0,
+                            rules=inner.rules, table=inner.table)
+        if isinstance(stmt, CreateTable):
+            logical = _lower_create(stmt)
+            kind, table = "create", stmt.schema.name
+        elif isinstance(stmt, Insert):
+            logical = lower_insert(stmt)
+            kind, table = "insert", stmt.table
+        elif isinstance(stmt, Delete):
+            logical = lower_delete(stmt, self.cluster.schema(stmt.table))
+            kind, table = "delete", stmt.table
+        elif isinstance(stmt, Select):
+            logical = lower_select(stmt, self.cluster.schema(stmt.table))
+            kind, table = "select", stmt.table
+        else:  # pragma: no cover - parser only emits the types above
+            raise CQLPlanningError(
+                f"unplannable statement {type(stmt).__name__}")
+        logical, rules = optimize(logical, self.disabled_rules)
+        physical = compile_plan(logical, self.sparklet is not None)
+        return Prepared(
+            text=text, ast=stmt, kind=kind, physical=physical,
+            n_params=getattr(stmt, "n_params", 0), rules=rules, table=table,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, prepared: Prepared, params: Sequence[Any] = (),
+                consistency: Consistency = Consistency.ONE
+                ) -> list[dict[str, Any]]:
+        if prepared.kind == "create":
+            if params:
+                raise InvalidQueryError("CREATE TABLE takes no parameters")
+        elif len(params) < prepared.n_params:
+            raise InvalidQueryError("not enough bind parameters")
+        elif len(params) > prepared.n_params:
+            leftover = len(params) - prepared.n_params
+            raise InvalidQueryError(f"{leftover} unused bind parameters")
+        rt = Runtime(cluster=self.cluster, sparklet=self.sparklet,
+                     params=tuple(params), consistency=consistency)
+        return prepared.physical.execute(rt)
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    def _explain_json(self, prepared: Prepared) -> dict[str, Any]:
+        return {
+            "statement": prepared.text,
+            "kind": prepared.kind,
+            "rules": dict(prepared.rules),
+            "plan": prepared.physical.explain(),
+        }
+
+    def explain_json(self, prepared: Prepared) -> dict[str, Any]:
+        """The stable EXPLAIN payload for any prepared statement."""
+        if prepared.kind == "explain":
+            root = prepared.physical
+            assert isinstance(root, _ExplainExec)
+            return root.plan_json
+        return self._explain_json(prepared)
+
+
+def _lower_create(stmt: CreateTable):
+    from .logical import LogicalCreate
+
+    return LogicalCreate(stmt.schema, stmt.if_not_exists)
+
+
+# --------------------------------------------------------------------------
+# Text rendering (the `repro explain` CLI)
+# --------------------------------------------------------------------------
+
+def render_plan_text(explain: dict[str, Any]) -> str:
+    """Render an EXPLAIN JSON payload as an indented operator tree."""
+    lines = [explain["statement"]]
+    rules = explain.get("rules") or {}
+    if rules:
+        fired = ", ".join(f"{name}×{n}" for name, n in sorted(rules.items()))
+        lines.append(f"rules: {fired}")
+    else:
+        lines.append("rules: (none)")
+
+    def walk(node: dict[str, Any], prefix: str, is_last: bool,
+             is_root: bool) -> None:
+        attrs = " ".join(
+            f"{k}={v!r}" if isinstance(v, str) else f"{k}={v}"
+            for k, v in node.items()
+            if k not in ("op", "children")
+            and v not in (None, False, [], {})
+        )
+        label = node["op"] + (f" {attrs}" if attrs else "")
+        if is_root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + label)
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = node.get("children", [])
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    walk(explain["plan"], "", True, True)
+    return "\n".join(lines)

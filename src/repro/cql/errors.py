@@ -1,0 +1,53 @@
+"""Typed query-engine errors with source positions.
+
+Both subclass :class:`repro.cassdb.errors.InvalidQueryError`, so every
+pre-engine call site that caught parse/plan failures keeps working; the
+analytics server additionally surfaces :meth:`CQLError.payload` as a
+structured ``error_detail`` object instead of a bare string.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cassdb.errors import InvalidQueryError
+
+__all__ = ["CQLError", "CQLSyntaxError", "CQLPlanningError"]
+
+
+class CQLError(InvalidQueryError):
+    """Base class: a statement failed to tokenize, parse, plan or bind.
+
+    ``line``/``column`` are 1-based positions into the original
+    statement text; ``token`` is the offending token's text.  All three
+    may be ``None`` when the failure has no single source position
+    (e.g. a missing partition-key constraint spans the whole WHERE).
+    """
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None, token: str | None = None):
+        if line is not None:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.token = token
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-shaped error detail for the server's error responses."""
+        return {
+            "type": type(self).__name__,
+            "message": str(self),
+            "line": self.line,
+            "column": self.column,
+            "token": self.token,
+        }
+
+
+class CQLSyntaxError(CQLError):
+    """The statement could not be tokenized or parsed."""
+
+
+class CQLPlanningError(CQLError):
+    """The statement parsed but cannot be planned against the schema
+    (or bound against the supplied parameters)."""

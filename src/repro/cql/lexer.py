@@ -1,0 +1,123 @@
+"""Tokenizer and the one statement canonicalizer.
+
+:func:`normalize_cql` is shared *verbatim* by the plan cache
+(``cassdb.query``), the server ``ResultCache`` key and this tokenizer —
+one canonicalizer, so the two cache layers can never drift.  It is
+quote-safe (whitespace inside single-quoted literals is data, not
+formatting) and idempotent, and the token stream of a normalized
+statement is identical to the raw statement's (positions aside).
+
+Tokens carry 1-based ``line``/``column`` so syntax and planning errors
+can point at the offending token.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from .errors import CQLSyntaxError
+
+__all__ = ["Token", "normalize_cql", "tokenize", "KEYWORDS"]
+
+_QUOTED_RE = re.compile(r"('(?:[^']|'')*')")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_cql(text: str) -> str:
+    """Whitespace-normalized statement text (every cache key).
+
+    Collapses runs of whitespace *outside* single-quoted literals only —
+    ``'a  b'`` and ``'a b'`` are different values and must not share a
+    cache entry.
+    """
+    parts = _QUOTED_RE.split(text)
+    # Odd indices are the quoted literals, preserved verbatim.
+    return "".join(
+        seg if i % 2 else _WS_RE.sub(" ", seg)
+        for i, seg in enumerate(parts)
+    ).strip()
+
+
+# Keywords are reserved: they cannot be used as identifiers.  Aggregate
+# function names other than COUNT stay contextual (an identifier
+# followed by "(") so columns named e.g. ``min`` keep working.
+KEYWORDS = frozenset({
+    "create", "table", "insert", "into", "values", "select", "from",
+    "where", "and", "order", "by", "limit", "delete", "primary", "key",
+    "with", "clustering", "asc", "desc", "if", "not", "exists", "allow",
+    "filtering", "count", "in", "group", "explain",
+})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'(?:[^']|'')*')
+  | (?P<float>-?\d+\.\d+)
+  | (?P<int>-?\d+)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<symbol><=|>=|!=|[(),=<>*?;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its decoded value and source position."""
+
+    kind: str   # 'string' | 'float' | 'int' | 'word' | 'symbol'
+    text: str   # raw statement text
+    value: Any  # decoded literal / lowercased word / symbol text
+    line: int   # 1-based
+    column: int  # 1-based
+
+    def __repr__(self) -> str:  # compact in parser error paths
+        return f"Token({self.text!r}@{self.line}:{self.column})"
+
+
+def _decode(kind: str, text: str) -> Any:
+    if kind == "string":
+        return text[1:-1].replace("''", "'")
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    if kind == "word":
+        return text.lower()
+    return text
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize one statement, tracking line/column positions."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            if ch == "\n":
+                line += 1
+                line_start = pos + 1
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            column = pos - line_start + 1
+            near = text[pos:pos + 30]
+            raise CQLSyntaxError(
+                f"cannot tokenize near: {near!r}",
+                line=line, column=column, token=near[:1],
+            )
+        kind = m.lastgroup or "symbol"
+        raw = m.group(0)
+        tokens.append(Token(kind, raw, _decode(kind, raw),
+                            line, pos - line_start + 1))
+        # Multi-line string literals advance the line counter too.
+        if kind == "string" and "\n" in raw:
+            line += raw.count("\n")
+            line_start = pos + raw.rindex("\n") + 1
+        pos = m.end()
+    return tokens

@@ -1,0 +1,809 @@
+"""Physical plans: composable operators compiled from the logical plan.
+
+Each operator implements ``execute(rt) -> rows`` and ``explain() ->
+dict`` (a stable JSON node: ``{"op": ..., <details>, "children":
+[...]}``).  Reads run against the cassdb coordinator; pushed-down
+aggregations fold partials inside the replica read
+(:meth:`Cluster.aggregate_partitions`); full-table aggregations compile
+to a sparklet DAG job (``cassandraTable → mapPartitions(fold) →
+merge``) — the paper's routing of complex queries to the big-data
+engine.
+
+Bind parameters are resolved per execution from the :class:`Runtime`,
+so one physical plan is shared by every execution of a cached
+statement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.cassdb.cluster import Cluster, Consistency
+from repro.cassdb.errors import SchemaError
+from repro.cassdb.row import ClusteringBound, Row
+from repro.cassdb.schema import TableSchema
+
+from .ast import AggregateCall, Param, Predicate, render_value
+from .errors import CQLPlanningError
+
+__all__ = [
+    "CreateTableExec",
+    "DeleteExec",
+    "FilterExec",
+    "FullScanAggregateExec",
+    "HashAggregateExec",
+    "InsertExec",
+    "LimitExec",
+    "MergePartialsExec",
+    "PartialAggregateScanExec",
+    "PartitionScanExec",
+    "PhysicalOp",
+    "ProjectExec",
+    "Runtime",
+    "compile_plan",
+]
+
+
+@dataclass
+class Runtime:
+    """Everything one execution needs: backends plus bound parameters."""
+
+    cluster: Cluster
+    sparklet: Any = None
+    params: Sequence[Any] = ()
+    consistency: Consistency = Consistency.ONE
+
+    def resolve(self, value: Any) -> Any:
+        if isinstance(value, Param):
+            return self.params[value.index]
+        return value
+
+
+class PhysicalOp:
+    """Base operator.  Subclasses set ``children`` and implement
+    :meth:`execute` and :meth:`explain_attrs`."""
+
+    name = "Op"
+    children: tuple["PhysicalOp", ...] = ()
+
+    def execute(self, rt: Runtime) -> list[Any]:
+        raise NotImplementedError
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {}
+
+    def explain(self) -> dict[str, Any]:
+        node: dict[str, Any] = {"op": self.name}
+        node.update(self.explain_attrs())
+        node["children"] = [c.explain() for c in self.children]
+        return node
+
+
+def _matches(row: dict, column: str, op: str, value: Any) -> bool:
+    val = row.get(column)
+    if val is None:
+        return False
+    if op == "=":
+        return val == value
+    if op == "in":
+        return val in value
+    if op == "<":
+        return val < value
+    if op == "<=":
+        return val <= value
+    if op == ">":
+        return val > value
+    return val >= value
+
+
+def _sorted_group_keys(groups: dict) -> list:
+    try:
+        return sorted(groups)
+    except TypeError:  # mixed/None-bearing keys: deterministic fallback
+        return sorted(groups, key=repr)
+
+
+# --------------------------------------------------------------------------
+# Aggregate machinery — partial representations shared by every
+# aggregation operator (replica-side, sparklet-side, coordinator-side).
+# --------------------------------------------------------------------------
+
+def _agg_init(aggs: Sequence[AggregateCall]) -> list:
+    out = []
+    for a in aggs:
+        if a.fn == "count":
+            out.append(0)
+        elif a.fn == "avg":
+            out.append([0.0, 0])
+        else:  # min / max / sum
+            out.append(None)
+    return out
+
+
+def _agg_add(acc: list, aggs: Sequence[AggregateCall],
+             values: Sequence[Any]) -> None:
+    for i, a in enumerate(aggs):
+        v = values[i]
+        fn = a.fn
+        if fn == "count":
+            if a.column is None or v is not None:
+                acc[i] += 1
+        elif v is None:
+            continue
+        elif fn == "avg":
+            pair = acc[i]
+            pair[0] += v
+            pair[1] += 1
+        elif fn == "sum":
+            acc[i] = v if acc[i] is None else acc[i] + v
+        elif fn == "min":
+            acc[i] = v if acc[i] is None or v < acc[i] else acc[i]
+        else:  # max
+            acc[i] = v if acc[i] is None or v > acc[i] else acc[i]
+
+
+def _agg_merge(acc: list, other: list, aggs: Sequence[AggregateCall]) -> None:
+    for i, a in enumerate(aggs):
+        v = other[i]
+        fn = a.fn
+        if fn == "count":
+            acc[i] += v
+        elif fn == "avg":
+            acc[i][0] += v[0]
+            acc[i][1] += v[1]
+        elif v is None:
+            continue
+        elif fn == "sum":
+            acc[i] = v if acc[i] is None else acc[i] + v
+        elif fn == "min":
+            acc[i] = v if acc[i] is None or v < acc[i] else acc[i]
+        else:  # max
+            acc[i] = v if acc[i] is None or v > acc[i] else acc[i]
+
+
+def _agg_finalize(acc: list, aggs: Sequence[AggregateCall]) -> list:
+    out = []
+    for i, a in enumerate(aggs):
+        if a.fn == "avg":
+            s, n = acc[i]
+            out.append(s / n if n else None)
+        else:
+            out.append(acc[i])
+    return out
+
+
+def _finalize_groups(groups: dict, group_by: Sequence[str],
+                     aggs: Sequence[AggregateCall]) -> list[dict]:
+    """Partial group map -> result rows, deterministically ordered."""
+    if not group_by and not groups:
+        groups = {(): _agg_init(aggs)}
+    names = [a.output_name for a in aggs]
+    rows = []
+    for key in _sorted_group_keys(groups):
+        row = dict(zip(group_by, key))
+        row.update(zip(names, _agg_finalize(groups[key], aggs)))
+        rows.append(row)
+    return rows
+
+
+def _fold_dicts(rows: Iterable[dict], group_by: Sequence[str],
+                aggs: Sequence[AggregateCall],
+                residual: Sequence[tuple[str, str, Any]] = ()) -> dict:
+    """Fold plain row dicts into a partial group map (sparklet tasks,
+    serial full scans and the row-shipping aggregate all share this)."""
+    groups: dict = {}
+    agg_cols = [a.column for a in aggs]
+    for r in rows:
+        ok = True
+        for column, op, value in residual:
+            if not _matches(r, column, op, value):
+                ok = False
+                break
+        if not ok:
+            continue
+        key = tuple(r.get(c) for c in group_by)
+        acc = groups.get(key)
+        if acc is None:
+            acc = groups[key] = _agg_init(aggs)
+        _agg_add(acc, aggs, [None if c is None else r.get(c)
+                             for c in agg_cols])
+    return groups
+
+
+# --------------------------------------------------------------------------
+# Scan-side helpers
+# --------------------------------------------------------------------------
+
+def _render_key_specs(key_specs) -> list[str]:
+    out = []
+    for col, op, v in key_specs:
+        if op == "in":
+            vals = ", ".join(str(render_value(x)) for x in v)
+            out.append(f"{col} IN ({vals})")
+        else:
+            out.append(f"{col} = {render_value(v)}")
+    return out
+
+
+def _render_bounds(schema: TableSchema, lower, upper) -> str | None:
+    if lower is None and upper is None:
+        return None
+    ck = schema.clustering_key[0]
+    if (lower is not None and upper is not None
+            and lower == upper and lower[1]):
+        return f"{ck} = {render_value(lower[0])}"
+    parts = []
+    if lower is not None:
+        parts.append(f"{ck} {'>=' if lower[1] else '>'} "
+                     f"{render_value(lower[0])}")
+    if upper is not None:
+        parts.append(f"{ck} {'<=' if upper[1] else '<'} "
+                     f"{render_value(upper[0])}")
+    return " AND ".join(parts)
+
+
+class _ScanBase(PhysicalOp):
+    """Shared routing/bounds resolution for the two scan operators."""
+
+    def __init__(self, table: str, schema: TableSchema,
+                 key_specs: list[tuple[str, str, Any]],
+                 lower: tuple[Any, bool] | None,
+                 upper: tuple[Any, bool] | None):
+        self.table = table
+        self.schema = schema
+        self.key_specs = key_specs
+        self.lower = lower
+        self.upper = upper
+        self.access = ("multi_partition_in"
+                       if any(op == "in" for _, op, _ in key_specs)
+                       else "single_partition")
+
+    def _pk_tuples(self, rt: Runtime) -> list[list[Any]]:
+        per_column = []
+        for _col, op, v in self.key_specs:
+            if op == "in":
+                per_column.append([rt.resolve(x) for x in v])
+            else:
+                per_column.append([rt.resolve(v)])
+        # Cartesian product of per-column value lists, in IN-list order.
+        return [list(combo) for combo in itertools.product(*per_column)]
+
+    def _bounds(self, rt: Runtime) -> tuple[ClusteringBound | None,
+                                            ClusteringBound | None]:
+        lower = upper = None
+        if self.lower is not None:
+            lower = ClusteringBound((rt.resolve(self.lower[0]),),
+                                    inclusive=self.lower[1])
+        if self.upper is not None:
+            upper = ClusteringBound((rt.resolve(self.upper[0]),),
+                                    inclusive=self.upper[1])
+        return lower, upper
+
+    def _base_attrs(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "access": self.access,
+            "partition_key": _render_key_specs(self.key_specs),
+            "clustering_range": _render_bounds(
+                self.schema, self.lower, self.upper),
+        }
+
+
+class PartitionScanExec(_ScanBase):
+    """Routed partition read: scatter-gather over the IN fan-out, with
+    clustering bounds, projection and limit pushed into the store."""
+
+    name = "PartitionScan"
+
+    def __init__(self, table, schema, key_specs, lower, upper, *,
+                 reverse: bool = False, limit: Any = None,
+                 columns: list[str] | None = None):
+        super().__init__(table, schema, key_specs, lower, upper)
+        self.reverse = reverse
+        self.limit = limit
+        self.columns = columns
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        lower, upper = self._bounds(rt)
+        partition_rows = rt.cluster.select_partitions(
+            self.table,
+            self._pk_tuples(rt),
+            lower=lower,
+            upper=upper,
+            reverse=self.reverse,
+            limit=self.limit,
+            columns=self.columns,
+            consistency=rt.consistency,
+        )
+        rows: list[dict] = []
+        for plist in partition_rows:
+            rows.extend(plist)
+        return rows
+
+    def explain_attrs(self) -> dict[str, Any]:
+        attrs = self._base_attrs()
+        attrs["columns"] = self.columns if self.columns is not None else "*"
+        attrs["reverse"] = self.reverse
+        attrs["limit"] = self.limit
+        return attrs
+
+
+class PartialAggregateScanExec(_ScanBase):
+    """Aggregate pushdown: each partition folds its rows into partial
+    accumulators *inside the replica read* (no row dicts are built, no
+    rows shipped); returns one partial group map per partition."""
+
+    name = "PartialAggregateScan"
+
+    def __init__(self, table, schema, key_specs, lower, upper, *,
+                 residual: list[Predicate],
+                 group_by: list[str], aggregates: list[AggregateCall]):
+        super().__init__(table, schema, key_specs, lower, upper)
+        self.residual = residual
+        self.group_by = group_by
+        self.aggregates = aggregates
+
+    # -- replica-side fold -------------------------------------------------
+
+    def _source(self, column: str):
+        """Classify a column: partition key, clustering index or cell."""
+        schema = self.schema
+        if column in schema.partition_key:
+            return ("pk", column)
+        if column in schema.clustering_key:
+            return ("ck", schema.clustering_key.index(column))
+        return ("cell", column)
+
+    def _make_fold(self, rt: Runtime) -> Callable[[dict, list[Row]], dict]:
+        aggs = self.aggregates
+        sources = [None if a.column is None else self._source(a.column)
+                   for a in aggs]
+        group_sources = [self._source(c) for c in self.group_by]
+        residual = [(self._source(p.column), p.op,
+                     [rt.resolve(v) for v in p.value] if p.op == "in"
+                     else rt.resolve(p.value))
+                    for p in self.residual]
+
+        def get(src, pk_values: dict, row: Row) -> Any:
+            kind, ref = src
+            if kind == "cell":
+                cell = row.cells.get(ref)
+                return None if cell is None else cell.value
+            if kind == "ck":
+                return row.clustering[ref]
+            return pk_values.get(ref)
+
+        def row_ok(pk_values: dict, row: Row) -> bool:
+            for src, op, value in residual:
+                val = get(src, pk_values, row)
+                if val is None:
+                    return False
+                if op == "=":
+                    if val != value:
+                        return False
+                elif op == "in":
+                    if val not in value:
+                        return False
+                elif op == "<":
+                    if not val < value:
+                        return False
+                elif op == "<=":
+                    if not val <= value:
+                        return False
+                elif op == ">":
+                    if not val > value:
+                        return False
+                elif not val >= value:
+                    return False
+            return True
+
+        constant_key = all(kind == "pk" for kind, _ in group_sources)
+        single_cell_key = (len(group_sources) == 1
+                           and group_sources[0][0] == "cell")
+
+        def partial(pk_values: dict, bucket: list[Row]) -> list:
+            # One group's partial state: extract each aggregate's column
+            # once and reduce it with builtins, rather than paying a
+            # Python accumulator call per row — this loop is the hot
+            # half of the pushdown win over row-shipping.
+            n = len(bucket)
+            acc = []
+            for a, src in zip(aggs, sources):
+                fn = a.fn
+                if src is None:  # count(*)
+                    acc.append(n)
+                    continue
+                kind, ref = src
+                if kind == "cell":
+                    vals = [c.value for r in bucket
+                            if (c := r.cells.get(ref)) is not None
+                            and c.value is not None]
+                elif kind == "ck":
+                    vals = [v for r in bucket
+                            if (v := r.clustering[ref]) is not None]
+                else:  # pk: constant across the whole partition
+                    v = pk_values.get(ref)
+                    absent = v is None or not n
+                    if fn == "count":
+                        acc.append(0 if absent else n)
+                    elif fn == "avg":
+                        acc.append([0.0, 0] if absent
+                                   else [v * n + 0.0, n])
+                    elif absent:
+                        acc.append(None)
+                    elif fn == "sum":
+                        acc.append(v * n)
+                    else:  # min / max of a constant
+                        acc.append(v)
+                    continue
+                if fn == "count":
+                    acc.append(len(vals))
+                elif fn == "avg":
+                    acc.append([sum(vals, 0.0), len(vals)])
+                elif not vals:
+                    acc.append(None)
+                elif fn == "sum":
+                    acc.append(sum(vals))
+                elif fn == "min":
+                    acc.append(min(vals))
+                else:  # max
+                    acc.append(max(vals))
+            return acc
+
+        def fold(pk_values: dict, rows: list[Row]) -> dict:
+            if residual:
+                rows = [r for r in rows if row_ok(pk_values, r)]
+            if constant_key:
+                # Group columns all come from the partition key: one
+                # group per partition, kept even when empty so empty
+                # partitions still report their zero counts.
+                key = tuple(pk_values.get(ref) for _, ref in group_sources)
+                return {key: partial(pk_values, rows)}
+            buckets: dict = {}
+            if single_cell_key:  # the common GROUP BY <cell> shape
+                ref = group_sources[0][1]
+                for row in rows:
+                    c = row.cells.get(ref)
+                    key = (None if c is None else c.value,)
+                    b = buckets.get(key)
+                    if b is None:
+                        buckets[key] = [row]
+                    else:
+                        b.append(row)
+            else:
+                for row in rows:
+                    key = tuple(get(s, pk_values, row)
+                                for s in group_sources)
+                    b = buckets.get(key)
+                    if b is None:
+                        buckets[key] = [row]
+                    else:
+                        b.append(row)
+            return {k: partial(pk_values, b) for k, b in buckets.items()}
+
+        return fold
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        lower, upper = self._bounds(rt)
+        return rt.cluster.aggregate_partitions(
+            self.table,
+            self._pk_tuples(rt),
+            lower=lower,
+            upper=upper,
+            fold=self._make_fold(rt),
+            consistency=rt.consistency,
+        )
+
+    def explain_attrs(self) -> dict[str, Any]:
+        attrs = self._base_attrs()
+        attrs["group_by"] = list(self.group_by)
+        attrs["aggregates"] = [a.render() for a in self.aggregates]
+        attrs["residual"] = [p.render() for p in self.residual]
+        return attrs
+
+
+class MergePartialsExec(PhysicalOp):
+    """Coordinator side of the aggregate pushdown: merge the per-
+    partition partial group maps and finalize (avg = sum/count)."""
+
+    name = "MergePartials"
+
+    def __init__(self, group_by: list[str],
+                 aggregates: list[AggregateCall], child: PhysicalOp):
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.children = (child,)
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        merged: dict = {}
+        for part in self.children[0].execute(rt):
+            for key, acc in part.items():
+                mine = merged.get(key)
+                if mine is None:
+                    merged[key] = acc
+                else:
+                    _agg_merge(mine, acc, self.aggregates)
+        return _finalize_groups(merged, self.group_by, self.aggregates)
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"group_by": list(self.group_by),
+                "aggregates": [a.render() for a in self.aggregates]}
+
+
+class HashAggregateExec(PhysicalOp):
+    """Row-shipping aggregation: the child materializes full rows on the
+    coordinator, which then groups and folds (the pre-pushdown shape —
+    kept both as the optimizer-off baseline and for plans whose
+    aggregate cannot be pushed)."""
+
+    name = "HashAggregate"
+
+    def __init__(self, group_by: list[str],
+                 aggregates: list[AggregateCall], child: PhysicalOp):
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.children = (child,)
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        rows = self.children[0].execute(rt)
+        groups = _fold_dicts(rows, self.group_by, self.aggregates)
+        return _finalize_groups(groups, self.group_by, self.aggregates)
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"group_by": list(self.group_by),
+                "aggregates": [a.render() for a in self.aggregates]}
+
+
+class FullScanAggregateExec(PhysicalOp):
+    """Unrouted aggregation over a whole table.
+
+    With a sparklet context attached this compiles to a DAG job —
+    ``cassandraTable`` (locality-placed partition tasks) →
+    ``mapPartitions(fold)`` → collect + merge — instead of a hand-written
+    job; without one it degrades to a serial ``scan_table`` fold."""
+
+    name = "FullScanAggregate"
+
+    def __init__(self, table: str, schema: TableSchema, *,
+                 residual: list[Predicate], group_by: list[str],
+                 aggregates: list[AggregateCall], engine: str):
+        self.table = table
+        self.schema = schema
+        self.residual = residual
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.engine = engine  # 'sparklet' | 'serial'
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        residual = [(p.column, p.op,
+                     [rt.resolve(v) for v in p.value] if p.op == "in"
+                     else rt.resolve(p.value))
+                    for p in self.residual]
+        group_by, aggs = self.group_by, self.aggregates
+        if self.engine == "sparklet" and rt.sparklet is not None:
+            def fold_partition(it: Iterator[dict]) -> list[dict]:
+                return [_fold_dicts(it, group_by, aggs, residual)]
+
+            partials = (rt.sparklet.cassandraTable(self.table)
+                        .mapPartitions(fold_partition)
+                        .collect())
+        else:
+            partials = [_fold_dicts(rt.cluster.scan_table(self.table),
+                                    group_by, aggs, residual)]
+        merged: dict = {}
+        for part in partials:
+            for key, acc in part.items():
+                mine = merged.get(key)
+                if mine is None:
+                    merged[key] = acc
+                else:
+                    _agg_merge(mine, acc, aggs)
+        return _finalize_groups(merged, group_by, aggs)
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "access": "full_scan",
+            "engine": self.engine,
+            "group_by": list(self.group_by),
+            "aggregates": [a.render() for a in self.aggregates],
+            "residual": [p.render() for p in self.residual],
+        }
+
+
+# --------------------------------------------------------------------------
+# Row-stream operators
+# --------------------------------------------------------------------------
+
+class FilterExec(PhysicalOp):
+    """Residual (post-scan) predicate evaluation over row dicts."""
+
+    name = "Filter"
+
+    def __init__(self, predicates: list[Predicate], child: PhysicalOp):
+        self.predicates = predicates
+        self.children = (child,)
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        bound = [(p.column, p.op,
+                  [rt.resolve(v) for v in p.value] if p.op == "in"
+                  else rt.resolve(p.value))
+                 for p in self.predicates]
+        return [
+            r for r in self.children[0].execute(rt)
+            if all(_matches(r, c, op, v) for c, op, v in bound)
+        ]
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"predicates": [p.render() for p in self.predicates]}
+
+
+class ProjectExec(PhysicalOp):
+    """Emit exactly the requested columns (missing columns are None)."""
+
+    name = "Project"
+
+    def __init__(self, columns: list[str], child: PhysicalOp):
+        self.columns = columns
+        self.children = (child,)
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        cols = self.columns
+        return [{c: r.get(c) for c in cols}
+                for r in self.children[0].execute(rt)]
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"columns": list(self.columns)}
+
+
+class LimitExec(PhysicalOp):
+    name = "Limit"
+
+    def __init__(self, n: int, child: PhysicalOp):
+        self.n = n
+        self.children = (child,)
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        return self.children[0].execute(rt)[:self.n]
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"n": self.n}
+
+
+# --------------------------------------------------------------------------
+# DML / DDL operators
+# --------------------------------------------------------------------------
+
+class CreateTableExec(PhysicalOp):
+    name = "CreateTable"
+
+    def __init__(self, schema: TableSchema, if_not_exists: bool):
+        self.schema = schema
+        self.if_not_exists = if_not_exists
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        try:
+            rt.cluster.create_table(self.schema)
+        except SchemaError:
+            if not self.if_not_exists:
+                raise
+        return []
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {
+            "table": self.schema.name,
+            "partition_key": list(self.schema.partition_key),
+            "clustering_key": list(self.schema.clustering_key),
+            "if_not_exists": self.if_not_exists,
+        }
+
+
+class InsertExec(PhysicalOp):
+    name = "Insert"
+
+    def __init__(self, table: str, columns: list[str], values: list[Any]):
+        self.table = table
+        self.columns = columns
+        self.values = values
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        bound = dict(zip(self.columns,
+                         (rt.resolve(v) for v in self.values)))
+        rt.cluster.insert(self.table, bound, rt.consistency)
+        return []
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {"table": self.table, "columns": list(self.columns)}
+
+
+class DeleteExec(PhysicalOp):
+    name = "Delete"
+
+    def __init__(self, table: str, schema: TableSchema,
+                 assignments: list[tuple[str, Any]]):
+        self.table = table
+        self.schema = schema
+        self.assignments = assignments
+
+    def execute(self, rt: Runtime) -> list[dict]:
+        values = {c: rt.resolve(v) for c, v in self.assignments}
+        rt.cluster.delete_row(self.table, values, rt.consistency)
+        return []
+
+    def explain_attrs(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "key": [f"{c} = {render_value(v)}" for c, v in self.assignments],
+        }
+
+
+# --------------------------------------------------------------------------
+# Logical -> physical compilation
+# --------------------------------------------------------------------------
+
+def compile_plan(plan, sparklet_available: bool) -> PhysicalOp:
+    """Compile an optimized logical plan into a physical operator tree."""
+    from .logical import (
+        LogicalAggregate,
+        LogicalCreate,
+        LogicalDelete,
+        LogicalFilter,
+        LogicalInsert,
+        LogicalLimit,
+        LogicalProject,
+        LogicalScan,
+    )
+
+    def compile_node(node) -> PhysicalOp:
+        if isinstance(node, LogicalScan):
+            if node.full_scan or node.key_specs is None:
+                raise CQLPlanningError(
+                    f"cannot scan table {node.table!r} without partition "
+                    "routing (only aggregate queries may full-scan)")
+            return PartitionScanExec(
+                node.table, node.schema, node.key_specs,
+                node.lower, node.upper, reverse=node.reverse,
+                limit=node.limit, columns=node.columns,
+            )
+        if isinstance(node, LogicalFilter):
+            return FilterExec(node.predicates, compile_node(node.child))
+        if isinstance(node, LogicalAggregate):
+            return compile_aggregate(node)
+        if isinstance(node, LogicalLimit):
+            return LimitExec(node.n, compile_node(node.child))
+        if isinstance(node, LogicalProject):
+            return ProjectExec(node.columns, compile_node(node.child))
+        if isinstance(node, LogicalInsert):
+            return InsertExec(node.table, node.columns, node.values)
+        if isinstance(node, LogicalDelete):
+            return DeleteExec(node.table, node.schema, node.assignments)
+        if isinstance(node, LogicalCreate):
+            return CreateTableExec(node.schema, node.if_not_exists)
+        raise AssertionError(f"unknown logical node {type(node).__name__}")
+
+    def compile_aggregate(node) -> PhysicalOp:
+        child = node.child
+        residual: list[Predicate] = []
+        scan = child
+        if isinstance(scan, LogicalFilter):
+            residual = scan.predicates
+            scan = scan.child
+        if isinstance(scan, LogicalScan) and scan.full_scan:
+            return FullScanAggregateExec(
+                scan.table, scan.schema, residual=residual,
+                group_by=node.group_by, aggregates=node.aggregates,
+                engine="sparklet" if sparklet_available else "serial",
+            )
+        if node.partial and isinstance(scan, LogicalScan):
+            partial = PartialAggregateScanExec(
+                scan.table, scan.schema, scan.key_specs,
+                scan.lower, scan.upper, residual=residual,
+                group_by=node.group_by, aggregates=node.aggregates,
+            )
+            return MergePartialsExec(node.group_by, node.aggregates, partial)
+        return HashAggregateExec(node.group_by, node.aggregates,
+                                 compile_node(child))
+
+    return compile_node(plan)

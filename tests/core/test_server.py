@@ -89,6 +89,38 @@ class TestSimpleOps:
         assert r["ok"]
         assert r["result"] == [{"name": "MCE"}]
 
+    def test_explain_op_returns_plan_json(self, server):
+        r = server.handle_sync({
+            "op": "explain",
+            "statement": "SELECT name FROM eventtypes WHERE name = 'MCE'",
+        })
+        assert r["ok"]
+        plan = r["result"]
+        assert plan["kind"] == "select"
+        assert plan["plan"]["op"] in ("Project", "PartitionScan")
+        assert "partition_key_routing" in plan["rules"]
+
+    def test_explain_op_requires_statement(self, server):
+        assert not server.handle_sync({"op": "explain"})["ok"]
+
+    def test_cql_error_carries_structured_detail(self, server):
+        r = server.handle_sync({
+            "op": "cql",
+            "statement": "SELECT name FROM eventtypes WHERE name ~ 'x'",
+        })
+        assert not r["ok"]
+        detail = r["error_detail"]
+        assert detail["type"] == "CQLSyntaxError"
+        assert detail["line"] == 1
+        assert detail["column"] == 40
+        assert detail["token"] == "~"
+        assert detail["message"].startswith("line 1:40:")
+
+    def test_non_cql_error_has_no_detail(self, server):
+        r = server.handle_sync({"op": "nodeinfo"})
+        assert not r["ok"]
+        assert "error_detail" not in r
+
     def test_synopsis(self, server, fw):
         fw.refresh_synopsis()
         r = server.handle_sync({"op": "synopsis", "hour": 0})

@@ -1,0 +1,195 @@
+"""Execution tests for the query engine: aggregates, pushdown parity,
+full-table scans, and engine configuration."""
+
+import pytest
+
+from repro.cassdb import Cluster, InvalidQueryError, Session
+from repro.cql import CQLPlanningError, QueryEngine
+from repro.sparklet import SparkletContext
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(4, replication_factor=2)
+    yield c
+    c.close()
+
+
+@pytest.fixture
+def session(cluster):
+    s = Session(cluster)
+    s.execute(
+        "CREATE TABLE ev (hour int, type text, ts double, seq int,"
+        " source text, amount int, PRIMARY KEY ((hour, type), ts, seq))"
+    )
+    for hour in (0, 1):
+        for i in range(12):
+            cols = "hour, type, ts, seq, source, amount"
+            vals = (hour, "MCE", float(i), i, f"n{i % 3}", i * 10)
+            if i % 4 == 3:  # rows with no 'amount' cell at all
+                cols = "hour, type, ts, seq, source"
+                vals = vals[:-1]
+            s.execute(
+                f"INSERT INTO ev ({cols}) VALUES "
+                f"({', '.join('?' * len(vals))})", vals)
+    return s
+
+
+class TestAggregateExecution:
+    def test_grouped_aggregates_match_manual(self, session):
+        rows = session.execute(
+            "SELECT source, count(*), sum(amount), min(ts), max(ts)"
+            " FROM ev WHERE hour = 0 AND type = 'MCE' GROUP BY source")
+        by_source = {r["source"]: r for r in rows}
+        # i in {0,3,6,9} -> n0; i=3 has no 'amount' cell (i % 4 == 3)
+        assert by_source["n0"]["count"] == 4
+        assert by_source["n0"]["sum_amount"] == 0 + 60 + 90
+        assert by_source["n0"]["min_ts"] == 0.0
+        assert by_source["n0"]["max_ts"] == 9.0
+        # Group keys come back deterministically ordered.
+        assert [r["source"] for r in rows] == ["n0", "n1", "n2"]
+
+    def test_count_column_ignores_missing_cells(self, session):
+        rows = session.execute(
+            "SELECT count(*), count(amount) FROM ev"
+            " WHERE hour = 0 AND type = 'MCE'")
+        assert rows == [{"count": 12, "count_amount": 9}]
+
+    def test_avg_is_float_division(self, session):
+        rows = session.execute(
+            "SELECT avg(ts) FROM ev WHERE hour = 0 AND type = 'MCE'")
+        assert rows[0]["avg_ts"] == pytest.approx(5.5)
+
+    def test_ungrouped_empty_partition_returns_zero_row(self, session):
+        rows = session.execute(
+            "SELECT count(*), min(amount), avg(amount) FROM ev"
+            " WHERE hour = 99 AND type = 'MCE'")
+        assert rows == [{"count": 0, "min_amount": None, "avg_amount": None}]
+
+    def test_grouped_empty_partition_returns_no_rows(self, session):
+        rows = session.execute(
+            "SELECT source, count(*) FROM ev"
+            " WHERE hour = 99 AND type = 'MCE' GROUP BY source")
+        assert rows == []
+
+    def test_aggregate_with_clustering_range(self, session):
+        rows = session.execute(
+            "SELECT count(*) FROM ev"
+            " WHERE hour = 0 AND type = 'MCE' AND ts >= 6.0")
+        assert rows == [{"count": 6}]
+
+    def test_aggregate_with_residual_filter(self, session):
+        rows = session.execute(
+            "SELECT count(*) FROM ev"
+            " WHERE hour = 0 AND type = 'MCE' AND source = 'n1'")
+        assert rows == [{"count": 4}]
+
+    def test_group_by_partition_key_column(self, session):
+        rows = session.execute(
+            "SELECT hour, count(*) FROM ev"
+            " WHERE hour IN (0, 1) AND type = 'MCE' GROUP BY hour")
+        assert rows == [{"hour": 0, "count": 12}, {"hour": 1, "count": 12}]
+
+    def test_aggregate_binds_params(self, session):
+        rows = session.execute(
+            "SELECT max(ts) FROM ev WHERE hour = ? AND type = ? AND ts < ?",
+            (0, "MCE", 4.0))
+        assert rows == [{"max_ts": 3.0}]
+
+    def test_group_by_without_aggregate_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT source FROM ev WHERE hour = 0 AND type = 'MCE'"
+                " GROUP BY source")
+
+    def test_plain_column_not_in_group_by_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT ts, count(*) FROM ev WHERE hour = 0 AND"
+                " type = 'MCE' GROUP BY source")
+
+    def test_order_by_with_aggregate_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute(
+                "SELECT count(*) FROM ev WHERE hour = 0 AND type = 'MCE'"
+                " ORDER BY ts")
+
+
+class TestPushdownParity:
+    """The pushed-down plan and the row-shipping plan must agree."""
+
+    QUERIES = [
+        ("SELECT source, count(*), sum(amount), avg(amount) FROM ev"
+         " WHERE hour IN (0, 1) AND type = 'MCE' GROUP BY source", ()),
+        ("SELECT count(*), min(ts), max(amount) FROM ev"
+         " WHERE hour = 0 AND type = 'MCE' AND ts >= 3.0", ()),
+        ("SELECT count(amount) FROM ev WHERE hour = ? AND type = ?"
+         " AND source = 'n2'", (1, "MCE")),
+    ]
+
+    @pytest.mark.parametrize("query,params", QUERIES)
+    def test_parity(self, cluster, session, query, params):
+        shipping = Session(cluster,
+                           disabled_rules=frozenset({"aggregate_pushdown"}))
+        pushed = session.execute(query, params)
+        shipped = shipping.execute(query, params)
+        assert pushed == shipped
+        plan = session.explain(query)
+        assert plan["plan"]["children"][0]["op"] == "MergePartials"
+        ship_plan = shipping.explain(query)
+        assert ship_plan["plan"]["children"][0]["op"] == "HashAggregate"
+
+
+class TestFullScanAggregates:
+    def test_serial_fallback_without_sparklet(self, session):
+        rows = session.execute("SELECT count(*), max(amount) FROM ev")
+        assert rows == [{"count": 24, "max_amount": 100}]
+        plan = session.explain("SELECT count(*) FROM ev")
+        scan = plan["plan"]["children"][0]
+        assert scan["op"] == "FullScanAggregate"
+        assert scan["engine"] == "serial"
+
+    def test_sparklet_route_matches_serial(self, cluster, session):
+        sc = SparkletContext(cluster=cluster)
+        try:
+            spark = Session(cluster, sparklet=sc)
+            plan = spark.explain("SELECT source, count(*) FROM ev"
+                                 " GROUP BY source")
+            assert plan["plan"]["children"][0]["engine"] == "sparklet"
+            assert (spark.execute("SELECT source, count(*) FROM ev"
+                                  " GROUP BY source")
+                    == session.execute("SELECT source, count(*) FROM ev"
+                                       " GROUP BY source"))
+        finally:
+            sc.stop()
+
+    def test_full_scan_with_residual_predicate(self, session):
+        rows = session.execute(
+            "SELECT count(*) FROM ev WHERE source = 'n0' ALLOW FILTERING")
+        assert rows == [{"count": 8}]
+
+    def test_plain_select_still_requires_routing(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.execute("SELECT * FROM ev")
+
+
+class TestEngineConfig:
+    def test_unknown_disabled_rule_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            QueryEngine(cluster, disabled_rules=frozenset({"nope"}))
+
+    def test_routing_rule_cannot_be_disabled(self, cluster):
+        with pytest.raises(ValueError):
+            QueryEngine(
+                cluster,
+                disabled_rules=frozenset({"partition_key_routing"}))
+
+    def test_limit_placeholder_still_rejected(self, session):
+        with pytest.raises(CQLPlanningError):
+            session.execute(
+                "SELECT * FROM ev WHERE hour = 0 AND type = 'MCE' LIMIT ?",
+                (5,))
+
+    def test_explain_statement_executes_to_payload(self, session):
+        q = "SELECT ts FROM ev WHERE hour = 0 AND type = 'MCE' LIMIT 2"
+        assert session.execute("EXPLAIN " + q) == [session.explain(q)]

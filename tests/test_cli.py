@@ -129,6 +129,32 @@ class TestMetrics:
         assert any(e["op"] == "heatmap" for e in payload["slow_queries"])
 
 
+class TestExplain:
+    STATEMENT = "SELECT name FROM eventtypes WHERE name = 'MCE'"
+
+    def test_renders_plan_tree(self, capsys):
+        rc = main(["explain", self.STATEMENT])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PartitionScan" in out
+        assert "partition_key_routing" in out
+
+    def test_json_payload(self, capsys):
+        rc = main(["explain", "--json", self.STATEMENT])
+        assert rc == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["kind"] == "select"
+        assert plan["statement"] == self.STATEMENT
+
+    def test_syntax_error_exits_2_with_payload(self, capsys):
+        rc = main(["explain", "SELECT FROM WHERE"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        detail = json.loads(captured.err)
+        assert detail["type"] == "CQLSyntaxError"
+        assert detail["line"] == 1
+
+
 class TestTopology:
     def test_cname_query(self, capsys):
         rc = main(["topology", "c3-17c1s5n2"])
