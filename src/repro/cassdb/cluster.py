@@ -48,6 +48,13 @@ from .node import Hint, StorageNode
 from .resilience import CircuitBreaker, RetryPolicy
 from .row import ClusteringBound, Row, merge_rows
 from .schema import Keyspace, TableSchema
+from .vector import (
+    BlockHints,
+    BlockView,
+    materialize_dicts,
+    scalar_matches,
+    select_rows,
+)
 
 # Default number of write-lock stripes: enough that concurrent writers
 # to disjoint partitions rarely collide, small enough that acquiring
@@ -75,6 +82,40 @@ class Consistency(Enum):
         return replication_factor
 
 
+def _classify_predicates(
+    schema: TableSchema, predicates: Sequence[tuple[str, str, Any]]
+) -> list[tuple[tuple[str, Any], str, Any]]:
+    """Resolve ``(column, op, value)`` residuals against a schema into
+    the ``((kind, ref), op, value)`` sources the vector kernels take."""
+    ck = schema.clustering_key
+    out = []
+    for col, op, value in predicates:
+        if col in schema.partition_key:
+            out.append((("pk", col), op, value))
+        elif col in ck:
+            out.append((("ck", ck.index(col)), op, value))
+        else:
+            out.append((("cell", col), op, value))
+    return out
+
+
+def _filter_dicts(
+    dicts: list[dict[str, Any]],
+    predicates: Sequence[tuple[str, str, Any]] | None,
+    limit: int | None,
+) -> list[dict[str, Any]]:
+    """Row-form fallback for pushed-down predicates: filter result
+    dicts (absent/None never matches), then apply the post-filter
+    limit.  Without predicates the limit was already applied at the
+    replica read, so this is a no-op."""
+    if not predicates:
+        return dicts
+    dicts = [d for d in dicts
+             if all(scalar_matches(d.get(col), op, value)
+                    for col, op, value in predicates)]
+    return dicts if limit is None else dicts[:limit]
+
+
 def _now_us() -> int:
     return time.time_ns() // 1_000
 
@@ -93,6 +134,7 @@ class Cluster:
         max_sstables: int = 8,
         write_stripes: int = DEFAULT_WRITE_STRIPES,
         retry_policy: RetryPolicy | None = None,
+        columnar: bool = True,
     ):
         if isinstance(node_ids, int):
             node_ids = [f"node{i:02d}" for i in range(node_ids)]
@@ -103,9 +145,14 @@ class Cluster:
         self.ring = HashRing(
             node_ids, vnodes=vnodes, replication_factor=replication_factor
         )
+        # columnar=False is the row-at-a-time escape hatch: every store
+        # keeps plain row lists, so one bench run can compare layouts.
+        self.columnar = columnar
         self.nodes: dict[str, StorageNode] = {
             nid: StorageNode(
-                nid, flush_threshold=flush_threshold, max_sstables=max_sstables
+                nid, flush_threshold=flush_threshold,
+                max_sstables=max_sstables, columnar=columnar,
+                hints_provider=self._block_hints_for,
             )
             for nid in node_ids
         }
@@ -238,6 +285,15 @@ class Cluster:
 
     def schema(self, table: str) -> TableSchema:
         return self.keyspace.table(table)
+
+    def _block_hints_for(self, table: str) -> BlockHints | None:
+        """Schema-derived columnar knobs for a node's table store
+        (index interval, dictionary columns); None when the table has
+        no registered schema."""
+        try:
+            return self.keyspace.table(table).block_hints
+        except SchemaError:
+            return None
 
     # -- membership / failure simulation -----------------------------------
 
@@ -666,6 +722,7 @@ class Cluster:
         reverse: bool = False,
         limit: int | None = None,
         columns: Sequence[str] | None = None,
+        predicates: Sequence[tuple[str, str, Any]] | None = None,
         consistency: Consistency = Consistency.ONE,
     ) -> list[dict[str, Any]]:
         """Read rows of one partition as plain dicts, in clustering order.
@@ -676,6 +733,12 @@ class Cluster:
         ``columns`` is the projection-pushdown hook: when set, only those
         columns are materialized out of the row (absent cells are simply
         omitted, so ``row.get(col)`` reads as None downstream).
+
+        ``predicates`` is the filter-pushdown hook: ``(column, op,
+        value)`` residuals evaluated per-column on column blocks before
+        any row dict is built (the row-form fallback filters dicts with
+        identical semantics — absent/None never matches).  With
+        predicates present, *limit* counts matching rows.
         """
         schema = self.schema(table)
         if isinstance(partition_values, Mapping):
@@ -686,14 +749,28 @@ class Cluster:
         else:
             pk = schema.partition_key_from_tuple(partition_values)
             pk_values = dict(zip(schema.partition_key, partition_values))
-        rows = self._replicated_read(
-            table, pk, lower, upper, reverse, limit, consistency
+        # A limit must count post-filter rows, so it cannot be pushed to
+        # the replica read when predicates will drop some of them.
+        store_limit = None if predicates else limit
+        source = self._replicated_read(
+            table, pk, lower, upper, reverse, store_limit, consistency,
+            as_view=True,
         )
+        if isinstance(source, BlockView):
+            if predicates:
+                source = select_rows(
+                    source, _classify_predicates(schema, predicates),
+                    pk_values)
+                if limit is not None:
+                    source = source.ordered(False, limit)
+            return materialize_dicts(source, schema, pk_values, columns)
+        rows = source
         if columns is None:
-            return [
+            out = [
                 schema.rehydrate(pk_values, r.clustering, r.as_dict())
                 for r in rows
             ]
+            return _filter_dicts(out, predicates, limit)
         # Classify each projected column once, not once per row.
         ck = schema.clustering_key
         sources: list[tuple[str, Any]] = []
@@ -717,7 +794,7 @@ class Cluster:
                 else:
                     d[col] = pk_values[ref]
             out.append(d)
-        return out
+        return _filter_dicts(out, predicates, limit)
 
     def select_partitions(
         self,
@@ -729,6 +806,7 @@ class Cluster:
         reverse: bool = False,
         limit: int | None = None,
         columns: Sequence[str] | None = None,
+        predicates: Sequence[tuple[str, str, Any]] | None = None,
         consistency: Consistency = Consistency.ONE,
     ) -> list[list[dict[str, Any]]]:
         """Scatter-gather read of several partitions (IN-list fan-out).
@@ -742,7 +820,8 @@ class Cluster:
             return [
                 self.select_partition(
                     table, pv, lower=lower, upper=upper, reverse=reverse,
-                    limit=limit, columns=columns, consistency=consistency,
+                    limit=limit, columns=columns, predicates=predicates,
+                    consistency=consistency,
                 )
                 for pv in partition_values_list
             ]
@@ -756,7 +835,8 @@ class Cluster:
                 pool.submit(
                     contextvars.copy_context().run, self.select_partition,
                     table, pv, lower=lower, upper=upper, reverse=reverse,
-                    limit=limit, columns=columns, consistency=consistency,
+                    limit=limit, columns=columns, predicates=predicates,
+                    consistency=consistency,
                 )
                 for pv in partition_values_list
             ]
@@ -774,19 +854,22 @@ class Cluster:
         *,
         lower: ClusteringBound | None = None,
         upper: ClusteringBound | None = None,
-        fold: Callable[[dict[str, Any], list[Row]], Any],
+        fold: "Callable[[dict[str, Any], BlockView | list[Row]], Any]",
         consistency: Consistency = Consistency.ONE,
     ) -> list[Any]:
         """Aggregate-pushdown read: fold each partition at the replica read.
 
-        ``fold(partition_values, rows)`` is applied to each partition's
-        live :class:`Row` objects *before* anything is shipped back — no
-        row dicts are built and no rows cross the coordinator boundary,
-        only the (small) partial each fold returns.  Partials come back
-        in input order; merging them is the caller's job (the query
-        engine's MergePartials operator).  Multi-partition calls
-        scatter-gather on the coordinator pool like
-        :meth:`select_partitions`.
+        ``fold(partition_values, source)`` is applied to each partition's
+        live data *before* anything is shipped back — no row dicts are
+        built and no rows cross the coordinator boundary, only the
+        (small) partial each fold returns.  *source* is a
+        :class:`~repro.cassdb.vector.BlockView` when the partition lives
+        in one columnar run (the vectorized fold kernels consume it
+        without materializing rows) and a list of live :class:`Row`
+        objects otherwise.  Partials come back in input order; merging
+        them is the caller's job (the query engine's MergePartials
+        operator).  Multi-partition calls scatter-gather on the
+        coordinator pool like :meth:`select_partitions`.
         """
         schema = self.schema(table)
         self._m_agg_pushdown_partitions.inc(len(partition_values_list))
@@ -798,10 +881,11 @@ class Cluster:
             else:
                 pk = schema.partition_key_from_tuple(pv)
                 pk_values = dict(zip(schema.partition_key, pv))
-            rows = self._replicated_read(
-                table, pk, lower, upper, False, None, consistency
+            source = self._replicated_read(
+                table, pk, lower, upper, False, None, consistency,
+                as_view=True,
             )
-            return fold(pk_values, rows)
+            return fold(pk_values, source)
 
         if len(partition_values_list) <= 1:
             return [fold_one(pv) for pv in partition_values_list]
@@ -831,14 +915,15 @@ class Cluster:
         reverse: bool,
         limit: int | None,
         consistency: Consistency,
-    ) -> list[Row]:
+        as_view: bool = False,
+    ) -> "BlockView | list[Row]":
         start = time.perf_counter()
         with obs.get_tracer().span(
             "cassdb.read", table=table, partition=partition_key
         ) as span:
             rows = self._retrying("read", lambda: self._coordinate_read(
                 table, partition_key, lower, upper, reverse, limit,
-                consistency,
+                consistency, as_view,
             ))
             span.set(rows=len(rows))
         self._m_read_latency.observe((time.perf_counter() - start) * 1000.0)
@@ -853,7 +938,8 @@ class Cluster:
         reverse: bool,
         limit: int | None,
         consistency: Consistency,
-    ) -> list[Row]:
+        as_view: bool = False,
+    ) -> "BlockView | list[Row]":
         with self._counter_lock:
             self.coordinator_reads += 1
         self._m_reads.inc()
@@ -884,6 +970,25 @@ class Cluster:
             return rows
 
         if len(targets) == 1:
+            if as_view:
+                # Vectorized fast path (the CL=ONE steady state): hand
+                # the replica's BlockView straight through — the store
+                # already dropped dead rows and applied reverse/limit,
+                # and a single response needs no reconciliation.
+                rid = targets[0]
+                g = self.chaos_gate
+                if g is not None:
+                    g.before_replica_read(rid)
+                try:
+                    source = self.nodes[rid].read_partition_view(
+                        table, partition_key, lower, upper, reverse, limit
+                    )
+                except NodeDownError:
+                    self._breaker_failure(rid)
+                    self._m_consistency_failures.inc()
+                    raise ReadTimeoutError(required, 0)
+                self._breaker_success(rid)
+                return source
             rows = read_replica(targets[0])
             if rows is not None:
                 responses[targets[0]] = rows
@@ -981,11 +1086,42 @@ class Cluster:
                 if not node.up:
                     continue
                 try:
-                    rows = node.read_partition(table, pk)
+                    source = node.read_partition_view(table, pk)
                 except NodeDownError:  # crashed but unconvicted: next replica
                     continue
-                for row in rows:
-                    yield schema.rehydrate(pk_values, row.clustering, row.as_dict())
+                if isinstance(source, BlockView):
+                    yield from materialize_dicts(source, schema, pk_values,
+                                                 None)
+                else:
+                    for row in source:
+                        yield schema.rehydrate(pk_values, row.clustering,
+                                               row.as_dict())
+                break
+
+    def fold_table_partitions(
+        self,
+        table: str,
+        fold: "Callable[[dict[str, Any], BlockView | list[Row]], Any]",
+    ) -> Iterable[Any]:
+        """Full-scan aggregate pushdown: fold every partition in place.
+
+        The serial analog of :meth:`aggregate_partitions` for unrouted
+        aggregates — each partition is folded at its first alive replica
+        (a :class:`BlockView` when columnar, live rows otherwise) and
+        only the partials are yielded, in sorted partition-key order.
+        """
+        schema = self.schema(table)
+        for pk in sorted(self.partition_keys(table)):
+            pk_values = schema.partition_values_from_key(pk)
+            for replica_id in self.ring.replicas(pk):
+                node = self.nodes[replica_id]
+                if not node.up:
+                    continue
+                try:
+                    source = node.read_partition_view(table, pk)
+                except NodeDownError:  # crashed but unconvicted: next replica
+                    continue
+                yield fold(pk_values, source)
                 break
 
     def partition_keys(self, table: str) -> set[str]:
@@ -1032,12 +1168,14 @@ class Cluster:
             if not node.up:
                 continue
             try:
-                rows = node.read_partition(table, partition_key)
+                source = node.read_partition_view(table, partition_key)
             except NodeDownError:  # crashed but unconvicted: next replica
                 continue
+            if isinstance(source, BlockView):
+                return materialize_dicts(source, schema, pk_values, None)
             return [
                 schema.rehydrate(pk_values, r.clustering, r.as_dict())
-                for r in rows
+                for r in source
             ]
         raise UnavailableError(1, 0)
 

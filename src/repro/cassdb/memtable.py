@@ -63,6 +63,18 @@ class MemPartition:
     def sorted_rows(self) -> list[Row]:
         return [self.rows[k] for k in self.sorted_keys()]
 
+    def sorted_items(self) -> tuple[list[tuple], list[Row]]:
+        """Sorted clustering keys and their rows, as parallel lists.
+
+        The flush path hands both straight to the SSTable build: the key
+        list becomes the column block's clustering array, so the build
+        skips re-extracting one tuple per row.  The sealed memtable is
+        discarded after the flush, so sharing the internal key list is
+        safe.
+        """
+        keys = self.sorted_keys()
+        return keys, [self.rows[k] for k in keys]
+
     def __len__(self) -> int:
         return len(self.rows)
 

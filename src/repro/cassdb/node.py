@@ -18,6 +18,7 @@ from repro import obs
 from .errors import NodeDownError
 from .row import ClusteringBound, Row
 from .storage import TableStore
+from .vector import BlockHints, BlockView
 
 __all__ = ["Hint", "StorageNode"]
 
@@ -55,12 +56,18 @@ class StorageNode:
     """
 
     def __init__(self, node_id: str, *, flush_threshold: int = 50_000,
-                 max_sstables: int = 8):
+                 max_sstables: int = 8, columnar: bool = True,
+                 hints_provider: "Callable[[str], BlockHints | None] | None" = None):
         self.node_id = node_id
         self.process_up = True
         self.routing_up = True
         self._flush_threshold = flush_threshold
         self._max_sstables = max_sstables
+        self._columnar = columnar
+        # Maps table name -> BlockHints (index interval, dictionary
+        # columns) at store creation; the cluster wires this to the
+        # keyspace so schema knobs reach the storage layer.
+        self._hints_provider = hints_provider
         self._flush_hook: Callable[[], None] | None = None
         self.tables: dict[str, TableStore] = {}
         self.hints: list[Hint] = []  # hinted handoff buffer (held as coordinator)
@@ -106,9 +113,13 @@ class StorageNode:
     def ensure_table(self, table: str) -> TableStore:
         store = self.tables.get(table)
         if store is None:
+            hints = (self._hints_provider(table)
+                     if self._hints_provider is not None else None)
             store = self.tables[table] = TableStore(
                 flush_threshold=self._flush_threshold,
                 max_sstables=self._max_sstables,
+                columnar=self._columnar,
+                hints=hints,
             )
             store.flush_hook = self._flush_hook
         return store
@@ -166,6 +177,30 @@ class StorageNode:
                                         reverse, limit)
             span.set(rows=len(rows))
         return rows
+
+    def read_partition_view(
+        self,
+        table: str,
+        partition_key: str,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+    ) -> "BlockView | list[Row]":
+        """:meth:`read_partition` without forced row materialization —
+        a :class:`BlockView` when the partition lives in one columnar
+        run, a merged row list otherwise."""
+        self._check_up()
+        _M_NODE_READS.inc()
+        store = self.tables.get(table)
+        if store is None:
+            return []
+        with obs.get_tracer().span("cassdb.node.read", node=self.node_id,
+                                   table=table) as span:
+            source = store.read_partition_view(partition_key, lower, upper,
+                                               reverse, limit)
+            span.set(rows=len(source))
+        return source
 
     def partition_keys(self, table: str) -> set[str]:
         """Partitions of *table* replicated on this node (liveness ignored:

@@ -23,6 +23,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from .errors import SchemaError
 from .row import Cell, Row
+from .vector import BlockHints
 
 __all__ = ["TableSchema", "Keyspace"]
 
@@ -45,6 +46,19 @@ class TableSchema:
         for single-row-per-partition tables (e.g. ``nodeinfos``).
     clustering_order:
         ``"asc"`` or ``"desc"``; the event tables use ascending timestamp.
+    index_interval:
+        Sparse-clustering-index density for this table's SSTables: one
+        key sampled per this many rows.  Wide telemetry tables can use a
+        coarser interval, narrow alert tables a finer one.
+    column_types:
+        Declared ``(column, type)`` pairs from ``CREATE TABLE`` (advisory
+        — the store stays schema-flexible; undeclared columns are legal).
+    dict_columns:
+        Columns to force dictionary encoding for in column blocks,
+        whatever cardinality one block happens to see (event ``type``,
+        ``location``/cabinet, ``component`` — §II-B's categorical
+        fields).  Low-cardinality string columns are auto-detected even
+        when unlisted.
     """
 
     name: str
@@ -57,6 +71,9 @@ class TableSchema:
     # partition-key column names, values are callables str -> value,
     # e.g. {"hour": int}.  Unlisted columns come back as strings.
     key_codecs: tuple[tuple[str, Callable[[str], Any]], ...] = ()
+    index_interval: int = 64
+    column_types: tuple[tuple[str, str], ...] = ()
+    dict_columns: tuple[str, ...] = ()
 
     def __post_init__(self):
         if not self.name:
@@ -67,12 +84,26 @@ class TableSchema:
             raise SchemaError(
                 f"table {self.name!r}: clustering_order must be 'asc' or 'desc'"
             )
+        if self.index_interval < 1:
+            raise SchemaError(
+                f"table {self.name!r}: index_interval must be >= 1"
+            )
         overlap = set(self.partition_key) & set(self.clustering_key)
         if overlap:
             raise SchemaError(
                 f"table {self.name!r}: columns {sorted(overlap)} appear in both "
                 "partition and clustering keys"
             )
+
+    @cached_property
+    def block_hints(self) -> BlockHints:
+        """The per-table knobs the storage layer threads into column
+        blocks (see :class:`~repro.cassdb.vector.BlockHints`)."""
+        return BlockHints(
+            index_interval=self.index_interval,
+            dict_columns=frozenset(self.dict_columns),
+            column_types=dict(self.column_types) or None,
+        )
 
     # -- key extraction -------------------------------------------------
 

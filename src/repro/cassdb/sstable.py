@@ -1,10 +1,21 @@
-"""Immutable sorted runs (SSTables) with bloom filters.
+"""Immutable sorted runs (SSTables) with bloom filters, stored columnar.
 
 An SSTable is a frozen snapshot of a memtable: every partition's rows in
 clustering order, plus a bloom filter over partition keys so reads for
 absent partitions return without touching the data ("data is retrieved
 by row key and range within a row, which guarantees a fast and efficient
 search" — paper §II-A).
+
+Since the columnar rewrite, each partition is physically a
+:class:`~repro.cassdb.vector.ColumnBlock` — per-column value arrays,
+dictionary-encoded low-cardinality strings, a liveness bitmap — and the
+sparse clustering index maps straight onto block offsets.  Scans hand
+out :class:`~repro.cassdb.vector.BlockView` selections that the
+vectorized kernels filter/project/fold without building ``Row`` objects;
+:attr:`SSTable.partitions` stays a mapping-of-row-lists view (lazily
+materialized) so compaction, repair, and tests keep their row-form
+contract.  ``columnar=False`` is the escape hatch: the same API over
+plain row lists, kept for benchmarks comparing the two layouts.
 
 SSTables here live in memory (the cluster is simulated in-process) but
 preserve the two properties the rest of the system depends on:
@@ -15,22 +26,27 @@ immutability (compaction builds new tables, never edits) and sortedness
 from __future__ import annotations
 
 import bisect
-import heapq
 import itertools
 import operator
+from collections.abc import MutableMapping
 from typing import Iterable, Iterator
+
+from repro import obs
 
 from .bloom import BloomFilter
 from .memtable import Memtable
 from .row import ClusteringBound, Row, merge_rows
+from .vector import BlockHints, BlockView, ColumnBlock, merge_views
 
 __all__ = [
+    "COLUMNAR_DEFAULT",
     "INDEX_INTERVAL",
     "SSTable",
     "merge_row_slices",
     "merge_sstables",
     "scan_partition",
     "slice_bounds",
+    "slice_bounds_keys",
 ]
 
 _generation_counter = itertools.count(1)
@@ -38,47 +54,134 @@ _generation_counter = itertools.count(1)
 # One clustering key is sampled into the sparse index every this many
 # rows; a bounds probe bisects the samples first, so the exact bisect
 # only ever inspects one sample block instead of the whole partition.
+# Per-table tuning lives in TableSchema.index_interval (threaded here
+# via BlockHints); this module constant is only the fallback default.
 INDEX_INTERVAL = 64
 
+# New SSTables are columnar unless the store says otherwise.
+COLUMNAR_DEFAULT = True
+
 _CLUSTERING = operator.attrgetter("clustering")
+
+# Same counter the store layer bumps: every bloom-filter rejection that
+# saved a partition probe, wherever the check ran.
+_M_BLOOM_SKIPS = obs.get_registry().counter("cassdb.store.bloom_skips")
+
+
+class _BlockPartitions(MutableMapping):
+    """Row-form mapping view over columnar partitions.
+
+    ``partitions[pk]`` lazily materializes (and block-caches) the row
+    list; deleting a key drops the underlying block, so simulated data
+    loss (tests, fault injection) is visible to the vectorized read path
+    too.  Assignment re-encodes the rows into a fresh block.
+    """
+
+    __slots__ = ("_blocks", "_hints")
+
+    def __init__(self, blocks: dict[str, ColumnBlock],
+                 hints: BlockHints | None):
+        self._blocks = blocks
+        self._hints = hints
+
+    def __getitem__(self, pk: str) -> list[Row]:
+        return self._blocks[pk].rows()
+
+    def __setitem__(self, pk: str, rows: list[Row]) -> None:
+        self._blocks[pk] = ColumnBlock.from_rows(rows, hints=self._hints)
+
+    def __delitem__(self, pk: str) -> None:
+        del self._blocks[pk]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
 
 
 class SSTable:
     """One immutable sorted run of a table's data on one node."""
 
-    def __init__(self, partitions: dict[str, list[Row]], generation: int | None = None):
+    def __init__(self, partitions: dict[str, list[Row]],
+                 generation: int | None = None, *,
+                 columnar: bool | None = None,
+                 hints: BlockHints | None = None,
+                 clusterings: dict[str, list[tuple]] | None = None):
         # Rows per partition must already be sorted by clustering key.
-        self.partitions = partitions
+        # *clusterings* optionally passes pre-extracted clustering-key
+        # lists (the memtable already has them) so block builds skip
+        # one pass over the rows.
+        if columnar is None:
+            columnar = COLUMNAR_DEFAULT
+        self.columnar = columnar
+        self.hints = hints
+        self.index_interval = (
+            hints.index_interval if hints is not None else INDEX_INTERVAL)
+        interval = self.index_interval
         self.generation = (
             generation if generation is not None else next(_generation_counter)
         )
         self.bloom = BloomFilter.from_keys(partitions.keys())
-        self.row_count = sum(len(rows) for rows in partitions.values())
-        self.index_interval = INDEX_INTERVAL
-        # Sparse clustering index: every INDEX_INTERVAL-th clustering key
+        # Sparse clustering index: every index_interval-th clustering key
         # per partition (only for partitions big enough to benefit).  The
-        # role index blocks play in Cassandra's -Index.db component.
-        self.index: dict[str, list[tuple]] = {
-            pk: [rows[i].clustering
-                 for i in range(0, len(rows), INDEX_INTERVAL)]
-            for pk, rows in partitions.items()
-            if len(rows) > INDEX_INTERVAL
-        }
+        # role index blocks play in Cassandra's -Index.db component; for
+        # columnar blocks the samples are offsets into the key array.
+        if columnar:
+            blocks: dict[str, ColumnBlock] = {}
+            for pk, rows in partitions.items():
+                keys = clusterings.get(pk) if clusterings else None
+                blocks[pk] = ColumnBlock.from_rows(rows, hints=hints,
+                                                   clustering=keys)
+            self._blocks = blocks
+            self.partitions: MutableMapping[str, list[Row]] = (
+                _BlockPartitions(blocks, hints))
+            self.row_count = sum(b.n for b in blocks.values())
+            self.index: dict[str, list[tuple]] = {
+                pk: block.clustering[::interval]
+                for pk, block in blocks.items() if block.n > interval
+            }
+        else:
+            self._blocks = None
+            self.partitions = partitions
+            self.row_count = sum(len(rows) for rows in partitions.values())
+            self.index = {
+                pk: [rows[i].clustering
+                     for i in range(0, len(rows), interval)]
+                for pk, rows in partitions.items()
+                if len(rows) > interval
+            }
 
     @classmethod
-    def from_memtable(cls, memtable: Memtable) -> "SSTable":
-        parts = {
-            pk: partition.sorted_rows() for pk, partition in memtable.items()
-        }
-        return cls(parts)
+    def from_memtable(cls, memtable: Memtable, *,
+                      columnar: bool | None = None,
+                      hints: BlockHints | None = None) -> "SSTable":
+        parts: dict[str, list[Row]] = {}
+        clusterings: dict[str, list[tuple]] = {}
+        for pk, partition in memtable.items():
+            keys, rows = partition.sorted_items()
+            parts[pk] = rows
+            clusterings[pk] = keys
+        return cls(parts, columnar=columnar, hints=hints,
+                   clusterings=clusterings)
 
     def maybe_contains(self, partition_key: str) -> bool:
         """Bloom-filter check; False means *definitely* absent."""
         return partition_key in self.bloom
 
+    def _bloom_admits(self, partition_key: str) -> bool:
+        """Counted bloom check: a rejection is a saved partition probe."""
+        if partition_key in self.bloom:
+            return True
+        _M_BLOOM_SKIPS.inc()
+        return False
+
     def get_partition(self, partition_key: str) -> list[Row] | None:
-        if not self.maybe_contains(partition_key):
+        if not self._bloom_admits(partition_key):
             return None
+        if self._blocks is not None:
+            block = self._blocks.get(partition_key)
+            return None if block is None else block.rows()
         return self.partitions.get(partition_key)
 
     def slice_partition(
@@ -89,10 +192,37 @@ class SSTable:
     ) -> tuple[list[Row], int] | None:
         """The in-bounds slice of a partition plus the pruned-row count.
 
-        Bisects into the run via the sparse clustering index, so only the
-        in-range rows are ever copied out; ``None`` when the partition is
-        absent from this run.
+        Bloom-checked, then bisected into the run via the sparse
+        clustering index, so only the in-range rows are ever copied out;
+        ``None`` when the partition is absent from this run.
         """
+        sliced = self.slice_partition_view(partition_key, lower, upper)
+        if sliced is None:
+            return None
+        source, pruned = sliced
+        if isinstance(source, BlockView):
+            return source.to_rows(), pruned
+        return source, pruned
+
+    def slice_partition_view(
+        self,
+        partition_key: str,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+    ) -> tuple[BlockView | list[Row], int] | None:
+        """Like :meth:`slice_partition` but without materializing rows:
+        columnar runs return a :class:`BlockView` over the in-bounds
+        offset range (row-form runs still return the list slice)."""
+        if not self._bloom_admits(partition_key):
+            return None
+        if self._blocks is not None:
+            block = self._blocks.get(partition_key)
+            if block is None:
+                return None
+            lo, hi = slice_bounds_keys(block.clustering, lower, upper,
+                                       samples=self.index.get(partition_key),
+                                       interval=self.index_interval)
+            return BlockView(block, range(lo, hi)), block.n - (hi - lo)
         rows = self.partitions.get(partition_key)
         if rows is None:
             return None
@@ -101,11 +231,28 @@ class SSTable:
                               interval=self.index_interval)
         return rows[lo:hi], len(rows) - (hi - lo)
 
+    def block(self, partition_key: str) -> ColumnBlock | None:
+        """The raw column block for a partition (None in row mode)."""
+        return None if self._blocks is None else self._blocks.get(partition_key)
+
     def partition_keys(self) -> Iterator[str]:
         return iter(self.partitions)
 
     def __len__(self) -> int:
         return self.row_count
+
+
+def _narrowed(samples: list[tuple] | None, key: tuple, interval: int,
+              n: int, right: bool) -> tuple[int, int]:
+    """Bisect the sparse samples to confine the exact bisect to one
+    sample block: ``[blo, bhi)``."""
+    if not samples:
+        return 0, n
+    if right:
+        j = bisect.bisect_right(samples, key)
+        return max(0, (j - 1) * interval), min(n, j * interval)
+    i = bisect.bisect_left(samples, key)
+    return max(0, (i - 1) * interval), min(n, i * interval)
 
 
 def slice_bounds(
@@ -130,11 +277,7 @@ def slice_bounds(
     if not n:
         return 0, 0
     if lower is not None:
-        blo, bhi = 0, n
-        if samples:
-            i = bisect.bisect_left(samples, lower.key)
-            blo = max(0, (i - 1) * interval)
-            bhi = min(n, i * interval)
+        blo, bhi = _narrowed(samples, lower.key, interval, n, right=False)
         lo = bisect.bisect_left(rows, lower.key, blo, bhi, key=_CLUSTERING)
         while lo < n and not lower.admits_lower(rows[lo].clustering):
             lo += 1
@@ -142,13 +285,41 @@ def slice_bounds(
         # Pad the bound so that every clustering tuple sharing the prefix
         # sorts below the sentinel, then walk back over rejected edges.
         padded = upper.key + (_Greatest(),)
-        blo, bhi = 0, n
-        if samples:
-            j = bisect.bisect_right(samples, padded)
-            blo = max(0, (j - 1) * interval)
-            bhi = min(n, j * interval)
+        blo, bhi = _narrowed(samples, padded, interval, n, right=True)
         hi = bisect.bisect_right(rows, padded, blo, bhi, key=_CLUSTERING)
         while hi > lo and not upper.admits_upper(rows[hi - 1].clustering):
+            hi -= 1
+    return lo, max(lo, hi)
+
+
+def slice_bounds_keys(
+    keys: list[tuple],
+    lower: ClusteringBound | None = None,
+    upper: ClusteringBound | None = None,
+    *,
+    samples: list[tuple] | None = None,
+    interval: int = INDEX_INTERVAL,
+) -> tuple[int, int]:
+    """:func:`slice_bounds` over a bare clustering-key array.
+
+    The columnar path stores clustering keys as their own array
+    (``ColumnBlock.clustering``), so the bisect runs on tuples directly —
+    no attribute indirection per comparison — with identical semantics.
+    """
+    n = len(keys)
+    lo, hi = 0, n
+    if not n:
+        return 0, 0
+    if lower is not None:
+        blo, bhi = _narrowed(samples, lower.key, interval, n, right=False)
+        lo = bisect.bisect_left(keys, lower.key, blo, bhi)
+        while lo < n and not lower.admits_lower(keys[lo]):
+            lo += 1
+    if upper is not None:
+        padded = upper.key + (_Greatest(),)
+        blo, bhi = _narrowed(samples, padded, interval, n, right=True)
+        hi = bisect.bisect_right(keys, padded, blo, bhi)
+        while hi > lo and not upper.admits_upper(keys[hi - 1]):
             hi -= 1
     return lo, max(lo, hi)
 
@@ -167,21 +338,6 @@ def scan_partition(
     return selected[::-1] if reverse else selected
 
 
-class _RevKey:
-    """Inverts clustering-key ordering so heapq pops descending."""
-
-    __slots__ = ("key",)
-
-    def __init__(self, key: tuple):
-        self.key = key
-
-    def __lt__(self, other: "_RevKey") -> bool:
-        return other.key < self.key
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, _RevKey) and self.key == other.key
-
-
 def merge_row_slices(
     slices: list[list[Row]],
     reverse: bool = False,
@@ -195,45 +351,12 @@ def merge_row_slices(
     merge consumes its inputs lazily and stops as soon as *limit* live
     rows are produced — on a ``LIMIT k`` scan the trailing rows of every
     run are never even compared.
+
+    Thin wrapper over :func:`~repro.cassdb.vector.merge_views`, which
+    additionally accepts :class:`~repro.cassdb.vector.BlockView` sources
+    and defers row materialization to the merge winners.
     """
-    if limit is not None and limit <= 0:
-        return []
-    if len(slices) == 1:
-        ordered = slices[0][::-1] if reverse else slices[0]
-        out = []
-        for row in ordered:
-            if row.is_live:
-                out.append(row)
-                if limit is not None and len(out) >= limit:
-                    break
-        return out
-    make_key = _RevKey if reverse else (lambda k: k)
-    heap = []
-    for sid, rows in enumerate(slices):
-        it = iter(reversed(rows)) if reverse else iter(rows)
-        first = next(it, None)
-        if first is not None:
-            heap.append((make_key(first.clustering), sid, first, it))
-    heapq.heapify(heap)
-    out: list[Row] = []
-    while heap:
-        key, _sid, row, it = heapq.heappop(heap)
-        nxt = next(it, None)
-        if nxt is not None:
-            heapq.heappush(heap, (make_key(nxt.clustering), _sid, nxt, it))
-        # Reconcile every run's copy of this clustering key before
-        # deciding liveness: a tombstone in one run may shadow the rest.
-        while heap and heap[0][0] == key:
-            _k, sid2, row2, it2 = heapq.heappop(heap)
-            row = merge_rows(row, row2)
-            nxt = next(it2, None)
-            if nxt is not None:
-                heapq.heappush(heap, (make_key(nxt.clustering), sid2, nxt, it2))
-        if row.is_live:
-            out.append(row)
-            if limit is not None and len(out) >= limit:
-                break
-    return out
+    return merge_views(slices, reverse=reverse, limit=limit)
 
 
 class _Greatest:
@@ -270,24 +393,37 @@ def _merge_sorted_rows(row_lists: list[list[Row]]) -> list[Row]:
     return [merged[k] for k in sorted(merged)]
 
 
-def merge_sstables(tables: Iterable[SSTable], drop_tombstones: bool = True) -> SSTable:
+def merge_sstables(tables: Iterable[SSTable],
+                   drop_tombstones: bool = True, *,
+                   columnar: bool | None = None,
+                   hints: BlockHints | None = None) -> SSTable:
     """Compaction: merge several runs into one, reconciling duplicates.
 
     With ``drop_tombstones`` the merged output garbage-collects rows whose
     latest state is a deletion (safe here because compaction covers *all*
     runs of the table, i.e. there is no older run left that the tombstone
     still needs to shadow).
+
+    The output is built in sorted partition-key order, so the merged
+    run's partition iteration order (``partition_keys()``, full scans)
+    is deterministic whatever order the inputs arrived in.  Layout and
+    hints are inherited from the inputs unless overridden.
     """
     tables = list(tables)
+    if columnar is None:
+        columnar = (any(t.columnar for t in tables) if tables
+                    else COLUMNAR_DEFAULT)
+    if hints is None:
+        hints = next((t.hints for t in tables if t.hints is not None), None)
     all_keys: set[str] = set()
     for t in tables:
         all_keys.update(t.partitions.keys())
     out: dict[str, list[Row]] = {}
-    for pk in all_keys:
+    for pk in sorted(all_keys):
         lists = [t.partitions[pk] for t in tables if pk in t.partitions]
         rows = _merge_sorted_rows(lists)
         if drop_tombstones:
             rows = [r for r in rows if r.is_live]
         if rows:
             out[pk] = rows
-    return SSTable(out)
+    return SSTable(out, columnar=columnar, hints=hints)

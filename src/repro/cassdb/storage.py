@@ -24,7 +24,13 @@ from repro import obs
 
 from .memtable import Memtable
 from .row import ClusteringBound, Row
-from .sstable import SSTable, merge_row_slices, merge_sstables, slice_bounds
+from .sstable import (
+    COLUMNAR_DEFAULT,
+    SSTable,
+    merge_sstables,
+    slice_bounds,
+)
+from .vector import BlockHints, BlockView, merge_views
 
 __all__ = ["StoreStats", "TableStore"]
 
@@ -67,6 +73,12 @@ class TableStore:
 
     flush_threshold: int = 50_000
     max_sstables: int = 8
+    # Columnar layout knobs: SSTables built by this store are column
+    # blocks unless *columnar* is off (the row-at-a-time escape hatch
+    # the S10 bench compares against); *hints* carries the table
+    # schema's index_interval / dictionary-encoding hints.
+    columnar: bool = COLUMNAR_DEFAULT
+    hints: BlockHints | None = None
     memtable: Memtable = field(default_factory=Memtable)
     # Sealed memtables whose SSTable build is in flight; readers treat
     # them as sources so pre-flush rows stay visible during the build.
@@ -143,7 +155,13 @@ class TableStore:
         if hook is not None:
             hook()
         with obs.get_tracer().span("cassdb.store.flush", rows=flushed_rows):
-            sst = SSTable.from_memtable(sealed)
+            # Only pass non-default layout knobs: the bare call is the
+            # stable seam tests monkeypatch to throttle builds.
+            if self.hints is not None or self.columnar != COLUMNAR_DEFAULT:
+                sst = SSTable.from_memtable(sealed, columnar=self.columnar,
+                                            hints=self.hints)
+            else:
+                sst = SSTable.from_memtable(sealed)
         with self.lock:
             self.frozen.remove(sealed)
             self.sstables.append(sst)
@@ -172,7 +190,8 @@ class TableStore:
         if len(runs) <= 1:
             return
         with obs.get_tracer().span("cassdb.store.compact", runs=len(runs)):
-            merged = merge_sstables(runs)
+            merged = merge_sstables(runs, columnar=self.columnar,
+                                    hints=self.hints)
         with self.lock:
             if self.sstables[:len(runs)] != runs:
                 return  # lost the race to a concurrent compaction
@@ -200,7 +219,29 @@ class TableStore:
         Sealed memtables awaiting their SSTable build count as sources,
         so an in-flight flush never hides rows.
         """
-        sources: list[list[Row]] = []
+        source = self.read_partition_view(partition_key, lower, upper,
+                                          reverse, limit)
+        return source.to_rows() if isinstance(source, BlockView) else source
+
+    def read_partition_view(
+        self,
+        partition_key: str,
+        lower: ClusteringBound | None = None,
+        upper: ClusteringBound | None = None,
+        reverse: bool = False,
+        limit: int | None = None,
+    ) -> BlockView | list[Row]:
+        """:meth:`read_partition` without forced row materialization.
+
+        When every stored copy of the partition lives in one columnar
+        run — the steady state after flush/compaction — the result is a
+        :class:`BlockView` over that run's live, in-bounds offsets, and
+        the vectorized kernels can filter/project/fold it without ever
+        building a ``Row``.  With multiple sources (memtable deltas,
+        un-compacted runs) the k-way merge reconciles them and returns
+        rows; either way dead rows are gone and *limit* is applied.
+        """
+        sources: list[BlockView | list[Row]] = []
         pruned = 0
         with self.lock:
             self.stats.reads += 1
@@ -220,19 +261,21 @@ class TableStore:
                     continue
                 self.stats.sstable_probes += 1
                 _M_SSTABLE_PROBES.inc()
-                sliced = sst.slice_partition(partition_key, lower, upper)
+                sliced = sst.slice_partition_view(partition_key, lower, upper)
                 if sliced is not None:
-                    rows, skipped = sliced
+                    source, skipped = sliced
                     pruned += skipped
-                    if rows:
-                        sources.append(rows)
+                    if len(source):
+                        sources.append(source)
             if pruned:
                 self.stats.rows_pruned += pruned
         if pruned:
             _M_ROWS_PRUNED.inc(pruned)
         if not sources:
             return []
-        return merge_row_slices(sources, reverse=reverse, limit=limit)
+        if len(sources) == 1 and isinstance(sources[0], BlockView):
+            return sources[0].live().ordered(reverse, limit)
+        return merge_views(sources, reverse=reverse, limit=limit)
 
     def partition_keys(self) -> set[str]:
         """Every partition key present on this node (memtable + runs)."""

@@ -1,0 +1,787 @@
+"""Columnar partition blocks and vectorized scan kernels.
+
+The row-at-a-time read path materializes a :class:`~repro.cassdb.row.Row`
+(one dict of :class:`Cell` objects) for every stored row a scan touches,
+then re-shapes each into a result dict, then filters/folds those dicts
+one by one.  For analytics scans — the workload the paper cares about —
+almost all of that work is thrown away: a filtered scan keeps a few
+percent of the rows it decodes, and a pushed-down ``GROUP BY`` reduces
+thousands of rows to a handful of partial states.
+
+This module stores each SSTable partition *column-major* instead
+(:class:`ColumnBlock`) and evaluates pushed-down predicates,
+projections, and aggregate folds one column at a time over selection
+indices (:func:`select_rows`, :func:`materialize_dicts`,
+:func:`fold_view`), so rows are only built for the survivors — and for
+aggregates, never at all.  Low-cardinality string columns (event type,
+cabinet/location, component — §II-B's categorical fields) are
+dictionary-encoded: a predicate is evaluated once per *dictionary
+entry*, then rows are matched by integer code.
+
+Row materialization (:meth:`ColumnBlock.row_at`) stays byte-faithful —
+cells keep their write timestamps, tombstones their deletion marker —
+so writes, hinted handoff, read repair, and compaction reconcile
+columnar and row-form data interchangeably.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.obs import get_registry
+
+from .row import Cell, Row, merge_rows
+
+__all__ = [
+    "BlockHints",
+    "BlockView",
+    "Column",
+    "ColumnBlock",
+    "DICT_MAX_CARDINALITY",
+    "fold_view",
+    "materialize_dicts",
+    "merge_views",
+    "scalar_matches",
+    "select_rows",
+]
+
+_REG = get_registry()
+_M_BLOCK_BUILDS = _REG.counter("cassdb.vector.block_builds")
+_M_BLOCK_ROWS = _REG.counter("cassdb.vector.block_rows")
+_M_DICT_COLUMNS = _REG.counter("cassdb.vector.dict_columns")
+_M_FILTER_SCANS = _REG.counter("cassdb.vector.filter_scans")
+_M_ROWS_SELECTED = _REG.counter("cassdb.vector.rows_selected")
+_M_AGG_FOLDS = _REG.counter("cassdb.vector.agg_folds")
+_M_ROWS_MATERIALIZED = _REG.counter("cassdb.vector.rows_materialized")
+
+# A string column is auto-dictionary-encoded when its distinct-value
+# count stays at or below this cap (cabinet ids, event types, component
+# names all do; log message text does not).
+DICT_MAX_CARDINALITY = 256
+
+# Auto-detection also requires the block to be at least this tall —
+# encoding a 3-row block buys nothing and costs a dict build.
+_DICT_MIN_ROWS = 8
+
+
+@dataclass(frozen=True)
+class BlockHints:
+    """Per-table knobs the storage layer threads into block builds.
+
+    Derived from :class:`~repro.cassdb.schema.TableSchema`; ``dict_columns``
+    forces dictionary encoding for the named columns regardless of
+    cardinality (the schema author knows ``location`` is categorical even
+    if one block happens to see many distinct cabinets).
+    """
+
+    index_interval: int = 64
+    dict_columns: frozenset[str] = frozenset()
+    column_types: Mapping[str, str] | None = None
+
+
+class Column:
+    """One column of a block: values + write timestamps + presence.
+
+    Two physical layouts share this class:
+
+    * plain — ``values`` is a list aligned with row offsets (``None`` at
+      absent slots; ``present`` disambiguates a stored ``None`` value
+      from an absent cell);
+    * dictionary-encoded — ``codes`` is a compact int array (``-1`` =
+      absent cell) indexing into ``dictionary``; ``code_of`` inverts it.
+
+    ``write_ts`` keeps the per-cell write timestamp (0 at absent slots)
+    so :meth:`ColumnBlock.row_at` rebuilds cells exactly.
+    """
+
+    __slots__ = ("name", "values", "write_ts", "present", "codes",
+                 "dictionary", "code_of")
+
+    def __init__(self, name: str, values: list | None, write_ts: array,
+                 present: bytearray | None, codes: array | None = None,
+                 dictionary: list | None = None,
+                 code_of: dict | None = None):
+        self.name = name
+        self.values = values
+        self.write_ts = write_ts
+        self.present = present  # None means every cell is present
+        self.codes = codes
+        self.dictionary = dictionary
+        self.code_of = code_of
+
+    def is_present(self, i: int) -> bool:
+        return self.present is None or bool(self.present[i])
+
+    def value_at(self, i: int) -> Any:
+        """The cell value at row offset *i* (None when absent)."""
+        if self.codes is not None:
+            code = self.codes[i]
+            return None if code < 0 else self.dictionary[code]
+        return self.values[i]
+
+
+class _ColumnBuilder:
+    __slots__ = ("name", "values", "write_ts", "present", "count")
+
+    def __init__(self, name: str, n: int):
+        self.name = name
+        self.values: list = [None] * n
+        self.write_ts = array("q", bytes(8 * n))
+        self.present = bytearray(n)
+        self.count = 0
+
+    def set(self, i: int, cell: Cell) -> None:
+        self.values[i] = cell.value
+        self.write_ts[i] = cell.write_ts
+        self.present[i] = 1
+        self.count += 1
+
+    def finalize(self, n: int, force_dict: bool) -> Column:
+        present = None if self.count == n else self.present
+        values = self.values
+        encode = force_dict
+        distinct: set | None = None
+        if not encode and n >= _DICT_MIN_ROWS:
+            # Auto-detect: all present values are strings and the
+            # cardinality is low enough that code matching wins.
+            try:
+                distinct = set(values)
+            except TypeError:
+                distinct = None
+            if distinct is not None:
+                distinct.discard(None)
+                encode = (len(distinct) <= DICT_MAX_CARDINALITY
+                          and all(isinstance(v, str) for v in distinct))
+        if encode:
+            try:
+                dictionary: list = []
+                code_of: dict = {}
+                codes = array("l", bytes(n * _CODE_ITEMSIZE))
+                pres = self.present
+                for i, v in enumerate(values):
+                    if not pres[i]:
+                        codes[i] = -1
+                        continue
+                    code = code_of.get(v)
+                    if code is None:
+                        code = len(dictionary)
+                        code_of[v] = code
+                        dictionary.append(v)
+                    codes[i] = code
+            except TypeError:  # unhashable value in a forced column
+                pass
+            else:
+                _M_DICT_COLUMNS.inc()
+                return Column(self.name, None, self.write_ts, present,
+                              codes=codes, dictionary=dictionary,
+                              code_of=code_of)
+        return Column(self.name, values, self.write_ts, present)
+
+
+_CODE_ITEMSIZE = array("l").itemsize
+
+
+class ColumnBlock:
+    """One partition of an SSTable, stored column-major.
+
+    ``clustering`` is the sorted clustering-key array (what the sparse
+    index samples and the merge compares); ``columns`` maps column name
+    to :class:`Column`; ``live`` is a liveness bitmap (``None`` when no
+    row is tombstone-shadowed); ``tombstones`` keeps the sparse
+    ``offset -> tombstone_ts`` map so dead rows round-trip exactly.
+    """
+
+    __slots__ = ("clustering", "n", "columns", "live", "n_dead",
+                 "tombstones", "_rows")
+
+    def __init__(self, clustering: list[tuple], columns: dict[str, Column],
+                 live: bytearray | None, n_dead: int,
+                 tombstones: dict[int, int]):
+        self.clustering = clustering
+        self.n = len(clustering)
+        self.columns = columns
+        self.live = live
+        self.n_dead = n_dead
+        self.tombstones = tombstones
+        self._rows: list[Row] | None = None
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row],
+                  hints: BlockHints | None = None,
+                  clustering: list[tuple] | None = None) -> "ColumnBlock":
+        """Build a block from rows already sorted by clustering key."""
+        n = len(rows)
+        if clustering is None:
+            clustering = [r.clustering for r in rows]
+        builders: dict[str, _ColumnBuilder] = {}
+        tombstones: dict[int, int] = {}
+        live: bytearray | None = None
+        n_dead = 0
+        for i, row in enumerate(rows):
+            if row.tombstone_ts is not None:
+                tombstones[i] = row.tombstone_ts
+                if not row.cells:
+                    if live is None:
+                        live = bytearray(b"\x01" * n)
+                    live[i] = 0
+                    n_dead += 1
+            for name, cell in row.cells.items():
+                builder = builders.get(name)
+                if builder is None:
+                    builder = builders[name] = _ColumnBuilder(name, n)
+                builder.set(i, cell)
+        forced = hints.dict_columns if hints is not None else frozenset()
+        columns = {name: b.finalize(n, name in forced)
+                   for name, b in builders.items()}
+        _M_BLOCK_BUILDS.inc()
+        _M_BLOCK_ROWS.inc(n)
+        return cls(clustering, columns, live, n_dead, tombstones)
+
+    def row_at(self, i: int) -> Row:
+        """Materialize the exact Row stored at offset *i* (timestamps,
+        tombstone marker and all) — the compatibility boundary for
+        repair, hints, and compaction."""
+        cells: dict[str, Cell] = {}
+        for col in self.columns.values():
+            if col.present is None or col.present[i]:
+                cells[col.name] = Cell(col.value_at(i), col.write_ts[i])
+        return Row(clustering=self.clustering[i], cells=cells,
+                   tombstone_ts=self.tombstones.get(i))
+
+    def rows(self) -> list[Row]:
+        """Full materialization (cached): every row, dead ones included,
+        exactly as a row-form SSTable would store them."""
+        if self._rows is None:
+            self._rows = [self.row_at(i) for i in range(self.n)]
+            _M_ROWS_MATERIALIZED.inc(self.n)
+        return self._rows
+
+    def __len__(self) -> int:
+        return self.n
+
+
+_EMPTY_ORDER = range(0)
+
+
+class BlockView:
+    """A selection over a block: the block plus an ordered offset set.
+
+    ``order`` is a ``range`` while the selection is still a contiguous
+    slice (the common case: a bounds-pruned scan) and degrades to an
+    index list once a predicate punches holes in it.  Both support
+    ``len``/iteration/slicing, so kernels never branch on which.
+    """
+
+    __slots__ = ("block", "order")
+
+    def __init__(self, block: ColumnBlock, order=None):
+        self.block = block
+        self.order = range(block.n) if order is None else order
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def live(self) -> "BlockView":
+        """Drop tombstone-shadowed rows (no-op when none are dead)."""
+        block = self.block
+        if block.n_dead == 0:
+            return self
+        alive = block.live
+        return BlockView(block, [i for i in self.order if alive[i]])
+
+    def ordered(self, reverse: bool = False,
+                limit: int | None = None) -> "BlockView":
+        order = self.order
+        if reverse:
+            order = order[::-1]
+        if limit is not None:
+            if limit <= 0:
+                return BlockView(self.block, _EMPTY_ORDER)
+            order = order[:limit]
+        return BlockView(self.block, order)
+
+    def to_rows(self) -> list[Row]:
+        block = self.block
+        if block._rows is not None:
+            rows = block._rows
+            return [rows[i] for i in self.order]
+        _M_ROWS_MATERIALIZED.inc(len(self.order))
+        return [block.row_at(i) for i in self.order]
+
+
+# -- scalar predicate semantics ---------------------------------------------
+
+def scalar_matches(val: Any, op: str, value: Any) -> bool:
+    """One predicate against one value; absent/None never matches
+    (CQL three-valued logic collapsed to False, same as the row path)."""
+    if val is None:
+        return False
+    if op == "=":
+        return val == value
+    if op == "in":
+        return val in value
+    if op == "<":
+        return val < value
+    if op == "<=":
+        return val <= value
+    if op == ">":
+        return val > value
+    if op == ">=":
+        return val >= value
+    raise ValueError(f"unsupported operator: {op!r}")
+
+
+# -- vectorized kernels ------------------------------------------------------
+#
+# Predicates, group-by keys, and aggregate inputs all arrive
+# pre-classified as (kind, ref) "sources":
+#     ("pk", name)  -> partition-key column; constant for a whole block
+#     ("ck", idx)   -> clustering component at tuple index idx
+#     ("cell", name)-> regular cell column
+# Classification happens once at the query layer (it needs the schema);
+# the kernels only see sources, so cassdb stays schema-light.
+
+def select_rows(view: BlockView,
+                predicates: Sequence[tuple[tuple[str, Any], str, Any]],
+                pk_values: Mapping[str, Any]) -> BlockView:
+    """Filter a view per-column, returning the surviving selection.
+
+    Each predicate is ``((kind, ref), op, value)``.  Dictionary-encoded
+    columns evaluate the predicate once per dictionary entry and then
+    match rows by integer code; plain columns use a None-guarded sweep.
+    Predicates short-circuit left to right over a shrinking selection.
+    """
+    _M_FILTER_SCANS.inc()
+    block = view.block
+    order = view.order
+    for (kind, ref), op, value in predicates:
+        if not len(order):
+            break
+        if kind == "pk":
+            if not scalar_matches(pk_values.get(ref), op, value):
+                order = _EMPTY_ORDER
+        elif kind == "ck":
+            cl = block.clustering
+            order = [i for i in order
+                     if scalar_matches(cl[i][ref], op, value)]
+        else:
+            col = block.columns.get(ref)
+            if col is None:
+                order = _EMPTY_ORDER
+            elif col.codes is not None:
+                order = _match_codes(col, order, op, value)
+            else:
+                order = _match_plain(col, order, op, value)
+    _M_ROWS_SELECTED.inc(len(order))
+    return BlockView(block, order)
+
+
+def _match_codes(col: Column, order, op: str, value: Any):
+    """Dictionary predicate: decide once per distinct value, match codes."""
+    matching = [code for code, v in enumerate(col.dictionary)
+                if scalar_matches(v, op, value)]
+    codes = col.codes
+    if not matching:
+        return _EMPTY_ORDER
+    if len(matching) == len(col.dictionary) and col.present is None:
+        return order  # every present value matches; nothing absent
+    if len(matching) == 1:
+        want = matching[0]
+        return [i for i in order if codes[i] == want]
+    want_set = set(matching)
+    return [i for i in order if codes[i] in want_set]
+
+
+def _match_plain(col: Column, order, op: str, value: Any):
+    vals = col.values
+    if op == "=":
+        if value is None:
+            return _EMPTY_ORDER  # absent/None never matches
+        return [i for i in order if vals[i] == value]
+    if op == "in":
+        try:
+            want = set(value)
+        except TypeError:
+            want = value  # unhashable members: fall back to linear `in`
+        return [i for i in order
+                if (v := vals[i]) is not None and v in want]
+    if op == "<":
+        return [i for i in order
+                if (v := vals[i]) is not None and v < value]
+    if op == "<=":
+        return [i for i in order
+                if (v := vals[i]) is not None and v <= value]
+    if op == ">":
+        return [i for i in order
+                if (v := vals[i]) is not None and v > value]
+    if op == ">=":
+        return [i for i in order
+                if (v := vals[i]) is not None and v >= value]
+    raise ValueError(f"unsupported operator: {op!r}")
+
+
+def materialize_dicts(view: BlockView, schema,
+                      pk_values: Mapping[str, Any],
+                      columns: Sequence[str] | None) -> list[dict]:
+    """Late materialization: selected rows straight to result dicts.
+
+    Mirrors the row path's projection semantics exactly: with *columns*
+    given, absent cells are omitted (not None-filled); without, the
+    result is the full rehydrated mapping.  Only the projected columns'
+    arrays are ever touched.
+    """
+    block = view.block
+    order = view.order
+    if not len(order):
+        return []
+    _M_ROWS_MATERIALIZED.inc(len(order))
+    cl = block.clustering
+    ck_names = schema.clustering_key
+    if columns is None:
+        # Column order is preserved so full-row dicts iterate the same
+        # way the row path's rehydrate() output does.
+        cols = [(c.name, c.values, c.present, c.codes, c.dictionary)
+                for c in block.columns.values()]
+        out = []
+        base = dict(pk_values)
+        for i in order:
+            d = dict(base)
+            d.update(zip(ck_names, cl[i]))
+            for name, vals, pres, codes, dictionary in cols:
+                if codes is not None:
+                    code = codes[i]
+                    if code >= 0:
+                        d[name] = dictionary[code]
+                elif pres is None or pres[i]:
+                    d[name] = vals[i]
+            out.append(d)
+        return out
+    # Projected path: classify each requested column once, sweep rows.
+    specs = []
+    pk_names = schema.partition_key
+    for name in columns:
+        if name in pk_names:
+            specs.append(("const", name, pk_values.get(name)))
+        elif name in ck_names:
+            specs.append(("ck", name, ck_names.index(name)))
+        else:
+            col = block.columns.get(name)
+            if col is None:
+                continue  # absent everywhere -> omitted everywhere
+            if col.codes is not None:
+                specs.append(("code", name, (col.codes, col.dictionary)))
+            else:
+                specs.append(("plain", name, (col.values, col.present)))
+    out = []
+    for i in order:
+        d = {}
+        for kind, name, payload in specs:
+            if kind == "const":
+                d[name] = payload
+            elif kind == "ck":
+                d[name] = cl[i][payload]
+            elif kind == "code":
+                codes, dictionary = payload
+                code = codes[i]
+                if code >= 0:
+                    d[name] = dictionary[code]
+            else:
+                vals, pres = payload
+                if pres is None or pres[i]:
+                    d[name] = vals[i]
+        out.append(d)
+    return out
+
+
+# -- aggregate folds ---------------------------------------------------------
+
+def _column_values(block: ColumnBlock, order, source,
+                   pk_values: Mapping[str, Any]) -> list:
+    """Non-None values of an aggregate-input column over the selection."""
+    kind, ref = source
+    if kind == "ck":
+        cl = block.clustering
+        return [v for i in order if (v := cl[i][ref]) is not None]
+    col = block.columns.get(ref)
+    if col is None:
+        return []
+    if col.codes is not None:
+        codes, dictionary = col.codes, col.dictionary
+        return [v for i in order
+                if (c := codes[i]) >= 0
+                and (v := dictionary[c]) is not None]
+    vals = col.values
+    return [v for i in order if (v := vals[i]) is not None]
+
+
+def _partial(block: ColumnBlock, order, n: int,
+             agg_sources: Sequence, fns: Sequence[str],
+             pk_values: Mapping[str, Any]) -> list:
+    """One group's partial accumulator list, byte-compatible with the
+    row path's partials (count:int, avg:[sum,n], min/max/sum:val|None)."""
+    acc: list = []
+    shared: dict = {}  # column sweep shared by aggregates on one source
+    for source, fn in zip(agg_sources, fns):
+        if source is None:  # count(*)
+            acc.append(n)
+            continue
+        kind, ref = source
+        if kind == "pk":
+            # Partition-key aggregate input: constant across the block,
+            # so the fold is arithmetic on (value, n) — and computed with
+            # the same expressions as the row path so partials match
+            # bit-for-bit.
+            v = pk_values.get(ref)
+            absent = v is None or not n
+            if fn == "count":
+                acc.append(0 if absent else n)
+            elif fn == "avg":
+                acc.append([0.0, 0] if absent else [v * n + 0.0, n])
+            elif absent:
+                acc.append(None)
+            elif fn == "sum":
+                acc.append(v * n)
+            else:  # min / max of a constant
+                acc.append(v)
+            continue
+        vals = shared.get(source)
+        if vals is None:
+            vals = shared[source] = _column_values(block, order, source,
+                                                   pk_values)
+        if fn == "count":
+            acc.append(len(vals))
+        elif fn == "avg":
+            acc.append([sum(vals, 0.0), len(vals)])
+        elif not vals:
+            acc.append(None)
+        elif fn == "sum":
+            acc.append(sum(vals))
+        elif fn == "min":
+            acc.append(min(vals))
+        elif fn == "max":
+            acc.append(max(vals))
+        else:
+            raise ValueError(f"unsupported aggregate: {fn!r}")
+    return acc
+
+
+def fold_view(view: BlockView,
+              group_sources: Sequence[tuple[str, Any]],
+              agg_sources: Sequence,
+              fns: Sequence[str],
+              pk_values: Mapping[str, Any],
+              keep_empty: bool = True) -> dict[tuple, list]:
+    """Per-column aggregate fold: group key tuple -> partial accumulators.
+
+    Never materializes a row or a dict.  Grouping by a dictionary-encoded
+    column buckets rows by integer code (a ``Counter`` over the code
+    array when only ``count(*)`` is asked for); *keep_empty* controls
+    whether an all-partition-key group emits a zero-count partial for an
+    empty selection (routed partial scans do, full scans don't).
+    """
+    _M_AGG_FOLDS.inc()
+    block = view.block
+    order = view.order
+    n = len(order)
+    if all(kind == "pk" for kind, _ in group_sources):
+        # Group key is constant for the whole partition.
+        if n == 0 and not keep_empty:
+            return {}
+        key = tuple(pk_values.get(ref) for _, ref in group_sources)
+        return {key: _partial(block, order, n, agg_sources, fns, pk_values)}
+    if n == 0:
+        return {}
+    if len(group_sources) == 1 and group_sources[0][0] == "cell":
+        col = block.columns.get(group_sources[0][1])
+        if col is None:
+            return {(None,): _partial(block, order, n, agg_sources, fns,
+                                      pk_values)}
+        if col.codes is not None:
+            return _fold_by_codes(block, order, n, col, agg_sources, fns,
+                                  pk_values)
+        vals = col.values
+        buckets: dict[tuple, list] = {}
+        for i in order:
+            key = (vals[i],)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [i]
+            else:
+                bucket.append(i)
+    else:
+        getters = []
+        cl = block.clustering
+        for kind, ref in group_sources:
+            if kind == "pk":
+                const = pk_values.get(ref)
+                getters.append(lambda i, c=const: c)
+            elif kind == "ck":
+                getters.append(lambda i, cl=cl, idx=ref: cl[i][idx])
+            else:
+                col = block.columns.get(ref)
+                if col is None:
+                    getters.append(lambda i: None)
+                else:
+                    getters.append(lambda i, c=col: c.value_at(i))
+        buckets = {}
+        for i in order:
+            key = tuple(g(i) for g in getters)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [i]
+            else:
+                bucket.append(i)
+    return {key: _partial(block, idxs, len(idxs), agg_sources, fns,
+                          pk_values)
+            for key, idxs in buckets.items()}
+
+
+def _is_full_range(order, block: ColumnBlock) -> bool:
+    return (isinstance(order, range) and order.step == 1
+            and order.start == 0 and order.stop == block.n)
+
+
+def _fold_by_codes(block: ColumnBlock, order, n: int, col: Column,
+                   agg_sources: Sequence, fns: Sequence[str],
+                   pk_values: Mapping[str, Any]) -> dict[tuple, list]:
+    """GROUP BY a dictionary-encoded column: bucket by integer code."""
+    codes, dictionary = col.codes, col.dictionary
+    # An absent cell and an explicitly-stored None must land in the same
+    # (None,) group; normalize -1 onto None's code when one exists.
+    absent = col.code_of.get(None, -1)
+    if all(s is None for s in agg_sources):
+        # count(*)-only: a Counter over the code array, no index lists.
+        if _is_full_range(order, block):
+            counts = Counter(codes)
+        else:
+            counts = Counter(codes[i] for i in order)
+        if -1 in counts and absent != -1:
+            counts[absent] += counts.pop(-1)
+        k = len(fns)
+        return {(None if code < 0 else dictionary[code],): [cnt] * k
+                for code, cnt in counts.items()}
+    code_groups: dict[int, list[int]] = {}
+    for i in order:
+        code = codes[i]
+        if code < 0:
+            code = absent
+        group = code_groups.get(code)
+        if group is None:
+            code_groups[code] = [i]
+        else:
+            group.append(i)
+    return {(None if code < 0 else dictionary[code],):
+            _partial(block, idxs, len(idxs), agg_sources, fns, pk_values)
+            for code, idxs in code_groups.items()}
+
+
+# -- merging -----------------------------------------------------------------
+
+class _RevKey:
+    """Inverts clustering-key ordering so heapq pops descending."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple):
+        self.key = key
+
+    def __lt__(self, other: "_RevKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _RevKey) and self.key == other.key
+
+
+def _entries(source, reverse: bool):
+    """Yield (clustering_key, payload) lazily; payload is a Row for
+    row-list sources or a (block, offset) pair for block views."""
+    if isinstance(source, BlockView):
+        block = source.block
+        order = source.order[::-1] if reverse else source.order
+        cl = block.clustering
+        for i in order:
+            yield cl[i], (block, i)
+    else:
+        rows = reversed(source) if reverse else source
+        for row in rows:
+            yield row.clustering, row
+
+
+def _as_row(payload) -> Row:
+    if type(payload) is tuple:
+        block, i = payload
+        return block.row_at(i)
+    return payload
+
+
+def merge_views(sources: list, reverse: bool = False,
+                limit: int | None = None) -> list[Row]:
+    """k-way merge of sorted sources (row lists and/or block views).
+
+    Compares on the blocks' clustering arrays and materializes a Row
+    only for keys that actually collide across sources or survive into
+    the output — with a ``LIMIT k`` the trailing rows of every run are
+    never decoded at all.  Equal keys reconcile via :func:`merge_rows`
+    (so a tombstone in any one run shadows the rest); dead rows are
+    skipped and do not count toward *limit*.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    if len(sources) == 1:
+        source = sources[0]
+        if isinstance(source, BlockView):
+            return source.live().ordered(reverse, limit).to_rows()
+        ordered = source[::-1] if reverse else source
+        out = []
+        for row in ordered:
+            if row.is_live:
+                out.append(row)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+    make_key = _RevKey if reverse else (lambda k: k)
+    heap = []
+    for sid, source in enumerate(sources):
+        it = _entries(source, reverse)
+        first = next(it, None)
+        if first is not None:
+            heap.append((make_key(first[0]), sid, first[1], it))
+    heapq.heapify(heap)
+    out: list[Row] = []
+    while heap:
+        key, _sid, payload, it = heapq.heappop(heap)
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (make_key(nxt[0]), _sid, nxt[1], it))
+        if heap and heap[0][0] == key:
+            # Collision: reconcile every run's copy before liveness —
+            # a tombstone in one run may shadow the others' cells.
+            row = _as_row(payload)
+            while heap and heap[0][0] == key:
+                _k, sid2, payload2, it2 = heapq.heappop(heap)
+                row = merge_rows(row, _as_row(payload2))
+                nxt = next(it2, None)
+                if nxt is not None:
+                    heapq.heappush(
+                        heap, (make_key(nxt[0]), sid2, nxt[1], it2))
+            if not row.is_live:
+                continue
+        elif type(payload) is tuple:
+            # Sole owner of this key: check liveness on the bitmap and
+            # materialize only if the row is served.
+            block, i = payload
+            if block.live is not None and not block.live[i]:
+                continue
+            row = block.row_at(i)
+        else:
+            if not payload.is_live:
+                continue
+            row = payload
+        out.append(row)
+        if limit is not None and len(out) >= limit:
+            break
+    return out

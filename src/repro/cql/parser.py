@@ -149,6 +149,7 @@ class _Parser:
         self.expect("(")
         partition: list[str] = []
         clustering: list[str] = []
+        types: list[tuple[str, str]] = []
         saw_primary = False
         while True:
             tok = self.peek()
@@ -171,8 +172,12 @@ class _Parser:
                 self.expect(")")
                 saw_primary = True
             else:
-                self.identifier()       # column name
-                self.identifier()       # column type (parsed, not enforced)
+                col = self.identifier()
+                # Column type: advisory — the store stays
+                # schema-flexible, but the declared types reach
+                # TableSchema.column_types (and from there the columnar
+                # block hints).
+                types.append((col, self.identifier()))
             if self.accept(")"):
                 break
             self.expect(",")
@@ -195,6 +200,7 @@ class _Parser:
                 partition_key=tuple(partition),
                 clustering_key=tuple(clustering),
                 clustering_order=order,
+                column_types=tuple(types),
             ),
             if_not_exists=if_not_exists,
         )

@@ -24,6 +24,7 @@ from repro.cassdb.cluster import Cluster, Consistency
 from repro.cassdb.errors import SchemaError
 from repro.cassdb.row import ClusteringBound, Row
 from repro.cassdb.schema import TableSchema
+from repro.cassdb.vector import BlockView, fold_view, select_rows
 
 from .ast import AggregateCall, Param, Predicate, render_value
 from .errors import CQLPlanningError
@@ -212,6 +213,172 @@ def _fold_dicts(rows: Iterable[dict], group_by: Sequence[str],
     return groups
 
 
+def _classify_column(schema: TableSchema, column: str) -> tuple[str, Any]:
+    """Classify a column: partition key, clustering index or cell."""
+    if column in schema.partition_key:
+        return ("pk", column)
+    if column in schema.clustering_key:
+        return ("ck", schema.clustering_key.index(column))
+    return ("cell", column)
+
+
+def _make_partition_fold(
+    schema: TableSchema,
+    residual_specs: Sequence[tuple[str, str, Any]],
+    group_by: Sequence[str],
+    aggs: Sequence[AggregateCall],
+    *,
+    keep_empty: bool,
+) -> "Callable[[dict, BlockView | list[Row]], dict]":
+    """Build the replica-side fold shared by routed partial-aggregate
+    scans and serial full-table scans.
+
+    The fold receives ``(partition_values, source)`` where *source* is a
+    :class:`BlockView` (columnar run: folded per-column, no Row ever
+    built) or a list of :class:`Row` (merged multi-run partitions: the
+    bucket-and-reduce path below).  *residual_specs* carries
+    already-resolved ``(column, op, value)`` predicates; *keep_empty*
+    decides whether an all-partition-key group key still emits a
+    zero-count partial when no rows survive (routed scans do — the
+    queried partition exists even if empty — full scans don't, matching
+    :func:`_fold_dicts` which never saw the partition at all).
+    """
+    sources = [None if a.column is None
+               else _classify_column(schema, a.column) for a in aggs]
+    group_sources = [_classify_column(schema, c) for c in group_by]
+    residual = [(_classify_column(schema, c), op, value)
+                for c, op, value in residual_specs]
+    fns = [a.fn for a in aggs]
+
+    def get(src, pk_values: dict, row: Row) -> Any:
+        kind, ref = src
+        if kind == "cell":
+            cell = row.cells.get(ref)
+            return None if cell is None else cell.value
+        if kind == "ck":
+            return row.clustering[ref]
+        return pk_values.get(ref)
+
+    def row_ok(pk_values: dict, row: Row) -> bool:
+        for src, op, value in residual:
+            val = get(src, pk_values, row)
+            if val is None:
+                return False
+            if op == "=":
+                if val != value:
+                    return False
+            elif op == "in":
+                if val not in value:
+                    return False
+            elif op == "<":
+                if not val < value:
+                    return False
+            elif op == "<=":
+                if not val <= value:
+                    return False
+            elif op == ">":
+                if not val > value:
+                    return False
+            elif not val >= value:
+                return False
+        return True
+
+    constant_key = all(kind == "pk" for kind, _ in group_sources)
+    single_cell_key = (len(group_sources) == 1
+                       and group_sources[0][0] == "cell")
+
+    def partial(pk_values: dict, bucket: list[Row]) -> list:
+        # One group's partial state: extract each aggregate's column
+        # once and reduce it with builtins, rather than paying a
+        # Python accumulator call per row — this loop is the hot
+        # half of the pushdown win over row-shipping.
+        n = len(bucket)
+        acc = []
+        for a, src in zip(aggs, sources):
+            fn = a.fn
+            if src is None:  # count(*)
+                acc.append(n)
+                continue
+            kind, ref = src
+            if kind == "cell":
+                vals = [c.value for r in bucket
+                        if (c := r.cells.get(ref)) is not None
+                        and c.value is not None]
+            elif kind == "ck":
+                vals = [v for r in bucket
+                        if (v := r.clustering[ref]) is not None]
+            else:  # pk: constant across the whole partition
+                v = pk_values.get(ref)
+                absent = v is None or not n
+                if fn == "count":
+                    acc.append(0 if absent else n)
+                elif fn == "avg":
+                    acc.append([0.0, 0] if absent
+                               else [v * n + 0.0, n])
+                elif absent:
+                    acc.append(None)
+                elif fn == "sum":
+                    acc.append(v * n)
+                else:  # min / max of a constant
+                    acc.append(v)
+                continue
+            if fn == "count":
+                acc.append(len(vals))
+            elif fn == "avg":
+                acc.append([sum(vals, 0.0), len(vals)])
+            elif not vals:
+                acc.append(None)
+            elif fn == "sum":
+                acc.append(sum(vals))
+            elif fn == "min":
+                acc.append(min(vals))
+            else:  # max
+                acc.append(max(vals))
+        return acc
+
+    def fold(pk_values: dict, source: "BlockView | list[Row]") -> dict:
+        if isinstance(source, BlockView):
+            # Columnar run: residual filter, grouping and aggregate
+            # reduction all run per-column inside the block.
+            if residual:
+                source = select_rows(source, residual, pk_values)
+            return fold_view(source, group_sources, sources, fns,
+                             pk_values, keep_empty=keep_empty)
+        rows = source
+        if residual:
+            rows = [r for r in rows if row_ok(pk_values, r)]
+        if constant_key:
+            # Group columns all come from the partition key: one group
+            # per partition.
+            if not rows and not keep_empty:
+                return {}
+            key = tuple(pk_values.get(ref) for _, ref in group_sources)
+            return {key: partial(pk_values, rows)}
+        buckets: dict = {}
+        if single_cell_key:  # the common GROUP BY <cell> shape
+            ref = group_sources[0][1]
+            for row in rows:
+                c = row.cells.get(ref)
+                key = (None if c is None else c.value,)
+                b = buckets.get(key)
+                if b is None:
+                    buckets[key] = [row]
+                else:
+                    b.append(row)
+        else:
+            for row in rows:
+                key = tuple(get(s, pk_values, row)
+                            for s in group_sources)
+                b = buckets.get(key)
+                if b is None:
+                    buckets[key] = [row]
+                else:
+                    b.append(row)
+        return {k: partial(pk_values, b) for k, b in buckets.items()}
+
+    return fold
+
+
 # --------------------------------------------------------------------------
 # Scan-side helpers
 # --------------------------------------------------------------------------
@@ -305,7 +472,14 @@ class PartitionScanExec(_ScanBase):
         self.limit = limit
         self.columns = columns
 
-    def execute(self, rt: Runtime) -> list[dict]:
+    def execute(self, rt: Runtime,
+                predicates: list[tuple[str, str, Any]] | None = None
+                ) -> list[dict]:
+        # *predicates* is the runtime fusion seam: a parent FilterExec
+        # hands its bound residual predicates down so columnar replicas
+        # evaluate them per-column before any row dict is built.  The
+        # plan shape (and EXPLAIN output) is unchanged — only execution
+        # is fused.
         lower, upper = self._bounds(rt)
         partition_rows = rt.cluster.select_partitions(
             self.table,
@@ -315,6 +489,7 @@ class PartitionScanExec(_ScanBase):
             reverse=self.reverse,
             limit=self.limit,
             columns=self.columns,
+            predicates=predicates,
             consistency=rt.consistency,
         )
         rows: list[dict] = []
@@ -347,143 +522,16 @@ class PartialAggregateScanExec(_ScanBase):
 
     # -- replica-side fold -------------------------------------------------
 
-    def _source(self, column: str):
-        """Classify a column: partition key, clustering index or cell."""
-        schema = self.schema
-        if column in schema.partition_key:
-            return ("pk", column)
-        if column in schema.clustering_key:
-            return ("ck", schema.clustering_key.index(column))
-        return ("cell", column)
-
-    def _make_fold(self, rt: Runtime) -> Callable[[dict, list[Row]], dict]:
-        aggs = self.aggregates
-        sources = [None if a.column is None else self._source(a.column)
-                   for a in aggs]
-        group_sources = [self._source(c) for c in self.group_by]
-        residual = [(self._source(p.column), p.op,
+    def _make_fold(self, rt: Runtime) -> "Callable[[dict, BlockView | list[Row]], dict]":
+        residual = [(p.column, p.op,
                      [rt.resolve(v) for v in p.value] if p.op == "in"
                      else rt.resolve(p.value))
                     for p in self.residual]
-
-        def get(src, pk_values: dict, row: Row) -> Any:
-            kind, ref = src
-            if kind == "cell":
-                cell = row.cells.get(ref)
-                return None if cell is None else cell.value
-            if kind == "ck":
-                return row.clustering[ref]
-            return pk_values.get(ref)
-
-        def row_ok(pk_values: dict, row: Row) -> bool:
-            for src, op, value in residual:
-                val = get(src, pk_values, row)
-                if val is None:
-                    return False
-                if op == "=":
-                    if val != value:
-                        return False
-                elif op == "in":
-                    if val not in value:
-                        return False
-                elif op == "<":
-                    if not val < value:
-                        return False
-                elif op == "<=":
-                    if not val <= value:
-                        return False
-                elif op == ">":
-                    if not val > value:
-                        return False
-                elif not val >= value:
-                    return False
-            return True
-
-        constant_key = all(kind == "pk" for kind, _ in group_sources)
-        single_cell_key = (len(group_sources) == 1
-                           and group_sources[0][0] == "cell")
-
-        def partial(pk_values: dict, bucket: list[Row]) -> list:
-            # One group's partial state: extract each aggregate's column
-            # once and reduce it with builtins, rather than paying a
-            # Python accumulator call per row — this loop is the hot
-            # half of the pushdown win over row-shipping.
-            n = len(bucket)
-            acc = []
-            for a, src in zip(aggs, sources):
-                fn = a.fn
-                if src is None:  # count(*)
-                    acc.append(n)
-                    continue
-                kind, ref = src
-                if kind == "cell":
-                    vals = [c.value for r in bucket
-                            if (c := r.cells.get(ref)) is not None
-                            and c.value is not None]
-                elif kind == "ck":
-                    vals = [v for r in bucket
-                            if (v := r.clustering[ref]) is not None]
-                else:  # pk: constant across the whole partition
-                    v = pk_values.get(ref)
-                    absent = v is None or not n
-                    if fn == "count":
-                        acc.append(0 if absent else n)
-                    elif fn == "avg":
-                        acc.append([0.0, 0] if absent
-                                   else [v * n + 0.0, n])
-                    elif absent:
-                        acc.append(None)
-                    elif fn == "sum":
-                        acc.append(v * n)
-                    else:  # min / max of a constant
-                        acc.append(v)
-                    continue
-                if fn == "count":
-                    acc.append(len(vals))
-                elif fn == "avg":
-                    acc.append([sum(vals, 0.0), len(vals)])
-                elif not vals:
-                    acc.append(None)
-                elif fn == "sum":
-                    acc.append(sum(vals))
-                elif fn == "min":
-                    acc.append(min(vals))
-                else:  # max
-                    acc.append(max(vals))
-            return acc
-
-        def fold(pk_values: dict, rows: list[Row]) -> dict:
-            if residual:
-                rows = [r for r in rows if row_ok(pk_values, r)]
-            if constant_key:
-                # Group columns all come from the partition key: one
-                # group per partition, kept even when empty so empty
-                # partitions still report their zero counts.
-                key = tuple(pk_values.get(ref) for _, ref in group_sources)
-                return {key: partial(pk_values, rows)}
-            buckets: dict = {}
-            if single_cell_key:  # the common GROUP BY <cell> shape
-                ref = group_sources[0][1]
-                for row in rows:
-                    c = row.cells.get(ref)
-                    key = (None if c is None else c.value,)
-                    b = buckets.get(key)
-                    if b is None:
-                        buckets[key] = [row]
-                    else:
-                        b.append(row)
-            else:
-                for row in rows:
-                    key = tuple(get(s, pk_values, row)
-                                for s in group_sources)
-                    b = buckets.get(key)
-                    if b is None:
-                        buckets[key] = [row]
-                    else:
-                        b.append(row)
-            return {k: partial(pk_values, b) for k, b in buckets.items()}
-
-        return fold
+        # keep_empty: group columns all from the partition key mean one
+        # group per queried partition, kept even when empty so empty
+        # partitions still report their zero counts.
+        return _make_partition_fold(self.schema, residual, self.group_by,
+                                    self.aggregates, keep_empty=True)
 
     def execute(self, rt: Runtime) -> list[dict]:
         lower, upper = self._bounds(rt)
@@ -590,8 +638,14 @@ class FullScanAggregateExec(PhysicalOp):
                         .mapPartitions(fold_partition)
                         .collect())
         else:
-            partials = [_fold_dicts(rt.cluster.scan_table(self.table),
-                                    group_by, aggs, residual)]
+            # Serial engine: fold each partition in place at its replica
+            # (vectorized on columnar runs) instead of materializing the
+            # whole table as dicts through scan_table.  keep_empty=False
+            # matches _fold_dicts, which never saw empty partitions.
+            fold = _make_partition_fold(self.schema, residual, group_by,
+                                        aggs, keep_empty=False)
+            partials = list(rt.cluster.fold_table_partitions(self.table,
+                                                             fold))
         merged: dict = {}
         for part in partials:
             for key, acc in part.items():
@@ -631,8 +685,15 @@ class FilterExec(PhysicalOp):
                   [rt.resolve(v) for v in p.value] if p.op == "in"
                   else rt.resolve(p.value))
                  for p in self.predicates]
+        child = self.children[0]
+        if isinstance(child, PartitionScanExec) and child.limit is None:
+            # Runtime fusion: push the bound predicates into the scan so
+            # columnar replicas filter per-column before materializing
+            # row dicts.  The plan tree (and EXPLAIN) keeps the
+            # Filter→PartitionScan shape.
+            return child.execute(rt, predicates=bound)
         return [
-            r for r in self.children[0].execute(rt)
+            r for r in child.execute(rt)
             if all(_matches(r, c, op, v) for c, op, v in bound)
         ]
 

@@ -1,0 +1,378 @@
+"""Unit tests for the columnar block layer and vectorized kernels."""
+
+import pytest
+
+from repro.cassdb import Cluster, Session
+from repro.cassdb.memtable import Memtable
+from repro.cassdb.row import Cell, Row
+from repro.cassdb.sstable import SSTable
+from repro.cassdb.vector import (
+    BlockHints,
+    BlockView,
+    ColumnBlock,
+    fold_view,
+    materialize_dicts,
+    merge_views,
+    select_rows,
+)
+
+
+def _row(ts, seq=0, write_ts=1, **cols):
+    return Row.from_values((ts, seq), cols, write_ts=write_ts)
+
+
+def _dead(ts, seq=0, tombstone_ts=9):
+    return Row(clustering=(ts, seq), cells={}, tombstone_ts=tombstone_ts)
+
+
+TYPES = ["warn", "error", "info", "warn", "error", "warn", "info", "warn",
+         "error", "warn"]
+
+
+def _block(hints=None):
+    rows = [_row(float(i), write_ts=i + 1, type=TYPES[i], amount=i * 10)
+            for i in range(10)]
+    return ColumnBlock.from_rows(rows, hints), rows
+
+
+class TestColumnBlock:
+    def test_round_trip_exact(self):
+        block, rows = _block()
+        assert block.rows() == rows
+        for i, row in enumerate(rows):
+            assert block.row_at(i) == row
+
+    def test_round_trip_preserves_timestamps(self):
+        block, _ = _block()
+        row = block.row_at(3)
+        assert row.cells["type"].write_ts == 4
+
+    def test_round_trip_tombstones(self):
+        rows = [_row(1.0), _dead(2.0), _row(3.0)]
+        block = ColumnBlock.from_rows(rows)
+        assert block.n_dead == 1
+        assert block.rows() == rows
+        assert not block.row_at(1).is_live
+        assert block.row_at(1).tombstone_ts == 9
+
+    def test_ragged_columns(self):
+        # Schema-flexible rows: columns missing from some rows stay
+        # absent (not None-valued) after the round trip.
+        rows = [_row(1.0, a=1), _row(2.0, b=2), _row(3.0, a=3, b=4)]
+        block = ColumnBlock.from_rows(rows)
+        assert block.rows() == rows
+        assert "b" not in block.row_at(0).cells
+
+    def test_auto_dict_encoding(self):
+        block, _ = _block()
+        col = block.columns["type"]
+        assert col.codes is not None
+        assert sorted(col.dictionary) == ["error", "info", "warn"]
+        assert block.columns["amount"].codes is None  # ints stay plain
+
+    def test_small_blocks_not_auto_encoded(self):
+        rows = [_row(float(i), type="x") for i in range(3)]
+        block = ColumnBlock.from_rows(rows)
+        assert block.columns["type"].codes is None
+
+    def test_forced_dict_encoding(self):
+        rows = [_row(float(i), type="x") for i in range(3)]
+        hints = BlockHints(dict_columns=frozenset({"type"}))
+        block = ColumnBlock.from_rows(rows, hints)
+        assert block.columns["type"].codes is not None
+
+    def test_high_cardinality_not_encoded(self):
+        rows = [_row(float(i), msg=f"unique-{i}") for i in range(300)]
+        block = ColumnBlock.from_rows(rows)
+        assert block.columns["msg"].codes is None
+
+    def test_absent_cell_codes_negative(self):
+        rows = ([_row(float(i), type="a") for i in range(9)]
+                + [_row(9.0, other=1)])
+        block = ColumnBlock.from_rows(rows)
+        col = block.columns["type"]
+        assert col.codes is not None
+        assert col.codes[9] == -1
+        assert col.value_at(9) is None
+
+
+class TestSelectRows:
+    def test_dict_equality(self):
+        block, rows = _block()
+        view = select_rows(BlockView(block), [(("cell", "type"), "=", "warn")],
+                           {})
+        want = [i for i, r in enumerate(rows)
+                if r.cells["type"].value == "warn"]
+        assert list(view.order) == want
+
+    def test_plain_range(self):
+        block, _ = _block()
+        view = select_rows(BlockView(block),
+                           [(("cell", "amount"), ">=", 50)], {})
+        assert list(view.order) == [5, 6, 7, 8, 9]
+
+    def test_clustering_predicate(self):
+        block, _ = _block()
+        view = select_rows(BlockView(block), [(("ck", 0), "<", 3.0)], {})
+        assert list(view.order) == [0, 1, 2]
+
+    def test_pk_predicate_constant(self):
+        block, _ = _block()
+        pk = {"hour": 7}
+        assert len(select_rows(BlockView(block), [(("pk", "hour"), "=", 7)],
+                               pk)) == 10
+        assert len(select_rows(BlockView(block), [(("pk", "hour"), "=", 8)],
+                               pk)) == 0
+
+    def test_conjunction_shrinks(self):
+        block, _ = _block()
+        view = select_rows(
+            BlockView(block),
+            [(("cell", "type"), "=", "warn"), (("cell", "amount"), ">", 30)],
+            {},
+        )
+        assert list(view.order) == [5, 7, 9]
+
+    def test_in_predicate_on_dict_column(self):
+        block, rows = _block()
+        view = select_rows(BlockView(block),
+                           [(("cell", "type"), "in", ["error", "info"])], {})
+        want = [i for i, r in enumerate(rows)
+                if r.cells["type"].value != "warn"]
+        assert list(view.order) == want
+
+    def test_absent_column_matches_nothing(self):
+        block, _ = _block()
+        view = select_rows(BlockView(block), [(("cell", "nope"), "=", 1)], {})
+        assert len(view) == 0
+
+    def test_absent_cells_never_match(self):
+        rows = ([_row(float(i), amount=i) for i in range(9)] + [_row(9.0)])
+        block = ColumnBlock.from_rows(rows)
+        view = select_rows(BlockView(block),
+                           [(("cell", "amount"), ">=", 0)], {})
+        assert 9 not in view.order
+
+
+class TestMaterializeDicts:
+    def _schema(self):
+        from repro.cassdb.schema import TableSchema
+        return TableSchema("ev", partition_key=("hour", "type2"),
+                           clustering_key=("ts", "seq"))
+
+    def test_full_rows(self):
+        block, rows = _block()
+        out = materialize_dicts(BlockView(block), self._schema(),
+                                {"hour": 7, "type2": "x"}, None)
+        assert out[3] == {"hour": 7, "type2": "x", "ts": 3.0, "seq": 0,
+                          "type": "warn", "amount": 30}
+
+    def test_projection_mixed_sources(self):
+        block, _ = _block()
+        out = materialize_dicts(BlockView(block, [2, 5]), self._schema(),
+                                {"hour": 7, "type2": "x"},
+                                ["hour", "ts", "type"])
+        assert out == [{"hour": 7, "ts": 2.0, "type": "info"},
+                       {"hour": 7, "ts": 5.0, "type": "warn"}]
+
+    def test_projection_omits_absent_cells(self):
+        rows = [_row(1.0, a=1), _row(2.0)]
+        block = ColumnBlock.from_rows(rows)
+        out = materialize_dicts(BlockView(block), self._schema(), {}, ["a"])
+        assert out == [{"a": 1}, {}]
+
+    def test_empty_selection(self):
+        block, _ = _block()
+        assert materialize_dicts(BlockView(block, []), self._schema(),
+                                 {}, None) == []
+
+
+class TestFoldView:
+    def test_group_by_dict_column(self):
+        block, rows = _block()
+        groups = fold_view(BlockView(block), [("cell", "type")],
+                           [None, ("cell", "amount")], ["count", "sum"], {})
+        assert groups[("warn",)] == [5, 0 + 30 + 50 + 70 + 90]
+        assert groups[("error",)] == [3, 10 + 40 + 80]
+        assert groups[("info",)] == [2, 20 + 60]
+
+    def test_count_star_only_uses_counter_path(self):
+        block, _ = _block()
+        groups = fold_view(BlockView(block), [("cell", "type")], [None],
+                           ["count"], {})
+        assert groups == {("warn",): [5], ("error",): [3], ("info",): [2]}
+
+    def test_absent_and_none_share_a_group(self):
+        rows = ([_row(float(i), type="a", v=1) for i in range(8)]
+                + [_row(8.0, type=None, v=1), _row(9.0, v=1)])
+        block = ColumnBlock.from_rows(rows)
+        for aggs, fns in ([[None], ["count"]],
+                          [[("cell", "v")], ["sum"]]):
+            groups = fold_view(BlockView(block), [("cell", "type")],
+                               aggs, fns, {})
+            assert groups[(None,)] == [2]
+            assert groups[("a",)] == [8]
+
+    def test_constant_pk_key_keep_empty(self):
+        block, _ = _block()
+        empty = BlockView(block, [])
+        pk = {"hour": 7}
+        assert fold_view(empty, [("pk", "hour")], [None], ["count"],
+                         pk) == {(7,): [0]}
+        assert fold_view(empty, [("pk", "hour")], [None], ["count"],
+                         pk, keep_empty=False) == {}
+
+    def test_avg_partial_matches_row_path(self):
+        block, rows = _block()
+        groups = fold_view(BlockView(block), [], [("cell", "amount")],
+                           ["avg"], {})
+        vals = [r.cells["amount"].value for r in rows]
+        assert groups[()] == [[sum(vals, 0.0), len(vals)]]
+
+    def test_min_max_over_clustering(self):
+        block, _ = _block()
+        groups = fold_view(BlockView(block), [], [("ck", 0), ("ck", 0)],
+                           ["min", "max"], {})
+        assert groups[()] == [0.0, 9.0]
+
+    def test_multi_column_group(self):
+        block, _ = _block()
+        groups = fold_view(BlockView(block),
+                           [("pk", "hour"), ("cell", "type")], [None],
+                           ["count"], {"hour": 7})
+        assert groups[(7, "warn")] == [5]
+
+    def test_fold_respects_selection(self):
+        block, _ = _block()
+        view = select_rows(BlockView(block),
+                           [(("cell", "amount"), ">=", 50)], {})
+        groups = fold_view(view, [("cell", "type")], [None], ["count"], {})
+        assert groups == {("warn",): [3], ("error",): [1], ("info",): [1]}
+
+
+class TestMergeViews:
+    def _view(self, rows):
+        block = ColumnBlock.from_rows(rows)
+        return BlockView(block)
+
+    def test_single_view_drops_dead(self):
+        view = self._view([_row(1.0), _dead(2.0), _row(3.0)])
+        out = merge_views([view])
+        assert [r.clustering[0] for r in out] == [1.0, 3.0]
+
+    def test_reverse_and_limit(self):
+        view = self._view([_row(float(i)) for i in range(5)])
+        out = merge_views([view], reverse=True, limit=2)
+        assert [r.clustering[0] for r in out] == [4.0, 3.0]
+
+    def test_tombstone_in_one_source_shadows_other(self):
+        newer = self._view([_dead(1.0, tombstone_ts=5)])
+        older = self._view([_row(1.0, write_ts=1, v=1), _row(2.0, v=2)])
+        out = merge_views([newer, older])
+        assert [r.clustering[0] for r in out] == [2.0]
+
+    def test_collision_reconciled_by_timestamp(self):
+        a = self._view([_row(1.0, write_ts=5, v="new")])
+        b = [_row(1.0, write_ts=1, v="old"), _row(2.0, write_ts=1, v="x")]
+        out = merge_views([a, b])
+        assert out[0].cells["v"].value == "new"
+        assert len(out) == 2
+
+    def test_limit_skips_dead_rows(self):
+        a = self._view([_dead(1.0), _row(2.0), _row(3.0)])
+        out = merge_views([a], limit=2)
+        assert [r.clustering[0] for r in out] == [2.0, 3.0]
+
+    def test_mixed_view_and_row_sources_interleave(self):
+        a = self._view([_row(1.0), _row(4.0)])
+        b = [_row(2.0), _row(3.0)]
+        out = merge_views([a, b])
+        assert [r.clustering[0] for r in out] == [1.0, 2.0, 3.0, 4.0]
+
+
+def _seed_session(columnar):
+    s = Session(Cluster(4, replication_factor=2, columnar=columnar))
+    s.execute(
+        "CREATE TABLE ev (hour int, type text, ts double, seq int,"
+        " source text, amount int, PRIMARY KEY ((hour, type), ts, seq))"
+    )
+    ins = ("INSERT INTO ev (hour, type, ts, seq, source, amount)"
+           " VALUES (?, ?, ?, ?, ?, ?)")
+    for hour in (1, 2):
+        for i in range(120):
+            s.execute(ins, params=(hour, "console", hour * 1000 + i * 1.0,
+                                   i, f"n{i % 4}", i % 7))
+    s.cluster.flush_all()
+    return s
+
+
+class TestColumnarRowParity:
+    """The escape hatch contract: columnar=False must answer every query
+    identically (the S10 bench leans on this to compare the two)."""
+
+    QUERIES = [
+        "SELECT * FROM ev WHERE hour = 1 AND type = 'console'",
+        ("SELECT ts, source FROM ev WHERE hour = 1 AND type = 'console'"
+         " AND source = 'n2'"),
+        ("SELECT * FROM ev WHERE hour = 2 AND type = 'console'"
+         " AND amount >= 5"),
+        ("SELECT * FROM ev WHERE hour = 1 AND type = 'console'"
+         " AND ts > 1010 ORDER BY ts DESC LIMIT 7"),
+        ("SELECT source, count(*), sum(amount), avg(amount) FROM ev"
+         " WHERE hour = 1 AND type = 'console' GROUP BY source"),
+        ("SELECT count(*), min(ts), max(amount) FROM ev"
+         " WHERE hour IN (1, 2) AND type = 'console'"),
+        "SELECT source, count(*) FROM ev GROUP BY source",
+        "SELECT hour, avg(amount) FROM ev WHERE amount > 3 GROUP BY hour",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_answers(self, query):
+        col, row = _seed_session(True), _seed_session(False)
+        assert col.execute(query) == row.execute(query)
+
+    def test_delete_visible_through_columnar_read(self):
+        s = _seed_session(True)
+        s.execute("DELETE FROM ev WHERE hour = 1 AND type = 'console'"
+                  " AND ts = 1000 AND seq = 0")
+        out = s.execute("SELECT ts FROM ev WHERE hour = 1"
+                        " AND type = 'console' AND ts <= 1001")
+        assert [r["ts"] for r in out] == [1001.0]
+
+
+class TestSSTableColumnar:
+    def test_from_memtable_builds_blocks(self):
+        mt = Memtable()
+        for i in range(10):
+            mt.upsert("pk", _row(float(i), type=TYPES[i]))
+        sst = SSTable.from_memtable(mt)
+        assert sst.columnar
+        block = sst.block("pk")
+        assert isinstance(block, ColumnBlock)
+        assert block.columns["type"].codes is not None
+
+    def test_row_escape_hatch(self):
+        mt = Memtable()
+        mt.upsert("pk", _row(1.0))
+        sst = SSTable.from_memtable(mt, columnar=False)
+        assert not sst.columnar
+        assert sst.block("pk") is None
+        assert sst.slice_partition_view("pk", None, None)[0][0] == _row(1.0)
+
+    def test_partition_pop_affects_columnar_reads(self):
+        # Anti-entropy repair prunes partitions via the mapping API; the
+        # delete must reach the block store, not just a row cache.
+        mt = Memtable()
+        mt.upsert("pk", _row(1.0))
+        sst = SSTable.from_memtable(mt)
+        sst.partitions.pop("pk", None)
+        assert sst.slice_partition_view("pk", None, None) is None
+        assert sst.block("pk") is None
+
+    def test_partition_setitem_reencodes(self):
+        mt = Memtable()
+        mt.upsert("pk", _row(1.0, v="a"))
+        sst = SSTable.from_memtable(mt)
+        sst.partitions["pk"] = [_row(2.0, v="b")]
+        assert sst.block("pk").clustering == [(2.0, 0)]
+        assert sst.partitions["pk"][0].cells["v"].value == "b"

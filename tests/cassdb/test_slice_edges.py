@@ -1,0 +1,141 @@
+"""Edge cases for slice bisection and slice merging.
+
+Covers the hazards the sparse clustering index and the lazy k-way merge
+are most likely to get wrong: duplicate clustering prefixes straddling a
+sample-block boundary, reverse-with-limit scans that hit tombstones, and
+degenerate empty inputs.
+"""
+
+from repro.cassdb.row import ClusteringBound, Row
+from repro.cassdb.sstable import (
+    merge_row_slices,
+    slice_bounds,
+    slice_bounds_keys,
+)
+
+
+def _row(ts, seq=0, write_ts=1, **cols):
+    return Row.from_values((ts, seq), cols or {"v": ts}, write_ts=write_ts)
+
+
+def _dead(ts, seq=0, tombstone_ts=9):
+    return Row(clustering=(ts, seq), cells={}, tombstone_ts=tombstone_ts)
+
+
+def _samples(keys, interval):
+    return keys[::interval] if len(keys) > interval else None
+
+
+def _check(rows, lower, upper, interval):
+    """slice_bounds with a sparse index must equal the brute-force scan,
+    and slice_bounds_keys must agree with slice_bounds exactly."""
+    keys = [r.clustering for r in rows]
+    samples = _samples(keys, interval)
+    lo, hi = slice_bounds(rows, lower, upper, samples=samples,
+                          interval=interval)
+    want = [
+        k for k in keys
+        if (lower is None or lower.admits_lower(k))
+        and (upper is None or upper.admits_upper(k))
+    ]
+    assert keys[lo:hi] == want
+    assert slice_bounds_keys(keys, lower, upper, samples=samples,
+                             interval=interval) == (lo, hi)
+
+
+class TestDuplicatePrefixStraddlingSampleBlocks:
+    """A run of equal clustering *prefixes* (same ts, many seqs) that
+    crosses a sample boundary: the narrowed bisect must not clip the run
+    to the sample block it starts in."""
+
+    def _rows(self):
+        # 4 rows of ts=1.0, then 6 of ts=2.0 (seq 0..5), then 6 of 3.0:
+        # with interval=4 the ts=2.0 run spans sample blocks 1 and 2.
+        rows = [_row(1.0, seq=s) for s in range(4)]
+        rows += [_row(2.0, seq=s) for s in range(6)]
+        rows += [_row(3.0, seq=s) for s in range(6)]
+        return rows
+
+    def test_prefix_equality_crosses_boundary(self):
+        rows = self._rows()
+        eq = ClusteringBound((2.0,))
+        _check(rows, eq, eq, interval=4)
+
+    def test_exclusive_lower_skips_whole_run(self):
+        rows = self._rows()
+        _check(rows, ClusteringBound((2.0,), inclusive=False), None,
+               interval=4)
+
+    def test_exclusive_upper_stops_before_run(self):
+        rows = self._rows()
+        _check(rows, None, ClusteringBound((2.0,), inclusive=False),
+               interval=4)
+
+    def test_every_interval_agrees(self):
+        rows = self._rows()
+        for interval in (1, 2, 3, 4, 5, 7, 16, 64):
+            for lower, upper in [
+                (ClusteringBound((2.0,)), ClusteringBound((2.0,))),
+                (ClusteringBound((1.0,), inclusive=False),
+                 ClusteringBound((3.0,), inclusive=False)),
+                (None, ClusteringBound((2.0,))),
+                (ClusteringBound((2.0,)), None),
+            ]:
+                _check(rows, lower, upper, interval)
+
+    def test_duplicate_run_longer_than_a_sample_block(self):
+        rows = [_row(5.0, seq=s) for s in range(40)]
+        eq = ClusteringBound((5.0,))
+        _check(rows, eq, eq, interval=8)
+
+    def test_bound_on_last_sample_boundary(self):
+        rows = [_row(float(i)) for i in range(16)]
+        _check(rows, ClusteringBound((12.0,)), ClusteringBound((12.0,)),
+               interval=4)
+        _check(rows, ClusteringBound((15.0,)), None, interval=4)
+
+
+class TestReverseLimitWithTombstones:
+    def test_dead_rows_do_not_consume_limit(self):
+        # Reverse scan: newest-first hits the tombstoned tail rows before
+        # any live row; they must be skipped, not counted.
+        live = [_row(float(i)) for i in range(5)]
+        dead = [_dead(float(i)) for i in range(5, 8)]
+        out = merge_row_slices([live + dead], reverse=True, limit=2)
+        assert [r.clustering[0] for r in out] == [4.0, 3.0]
+
+    def test_reverse_limit_with_cross_slice_shadowing(self):
+        older = [_row(1.0, v=1), _row(2.0, v=2), _row(3.0, v=3)]
+        newer = [_dead(3.0, tombstone_ts=8)]
+        out = merge_row_slices([newer, older], reverse=True, limit=2)
+        assert [r.clustering[0] for r in out] == [2.0, 1.0]
+
+    def test_all_rows_dead_yields_nothing(self):
+        out = merge_row_slices([[_dead(1.0), _dead(2.0)]], reverse=True,
+                               limit=5)
+        assert out == []
+
+    def test_limit_zero(self):
+        assert merge_row_slices([[_row(1.0)]], limit=0) == []
+        assert merge_row_slices([[_row(1.0)]], reverse=True, limit=0) == []
+
+
+class TestEmptyInputs:
+    def test_slice_bounds_empty_rows(self):
+        assert slice_bounds([], ClusteringBound((1.0,)),
+                            ClusteringBound((2.0,))) == (0, 0)
+        assert slice_bounds_keys([], ClusteringBound((1.0,)), None) == (0, 0)
+
+    def test_merge_no_slices(self):
+        assert merge_row_slices([]) == []
+        assert merge_row_slices([], reverse=True, limit=3) == []
+
+    def test_merge_empty_slices(self):
+        assert merge_row_slices([[], []]) == []
+        assert merge_row_slices([[], [_row(1.0)], []])[0].clustering == (1.0, 0)
+
+    def test_disjoint_bounds_give_empty_range(self):
+        rows = [_row(float(i)) for i in range(8)]
+        lo, hi = slice_bounds(rows, ClusteringBound((6.0,)),
+                              ClusteringBound((2.0,)))
+        assert lo >= hi or rows[lo:hi] == []
