@@ -1,0 +1,275 @@
+"""S11 — concurrent scheduler and narrow-chain fusion.
+
+PR 8 rebuilds sparklet's job execution on two axes:
+
+* **concurrent jobs** — ``DAGScheduler.run_job`` no longer holds a
+  whole-job lock: independent jobs run truly concurrently, and jobs
+  sharing shuffle lineage wait on the first materialization instead of
+  recomputing it.  With I/O-bound tasks (here: a simulated replica
+  fetch, the same device-model approach as ``remote_read_cost``) N
+  small jobs submitted together must finish ≥ 2× faster than under the
+  legacy ``serialize_jobs=True`` scheduler;
+* **narrow-chain fusion** — adjacent ``map``/``filter``/``flatMap``
+  (and keyed derivatives) compile into one generated per-partition
+  loop.  A representative 5-op chain must run ≥ 1.3× faster than the
+  ``fuse_narrow=False`` layer-at-a-time baseline.
+
+Also measured (report-only): diamond-join pipelining — both map sides
+of a join materialize in parallel — and exactly-once shuffle sharing
+across concurrent jobs (asserted, not timed).
+
+Runs standalone for the CI bench-smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_s11_scheduler.py --quick \
+        --json BENCH_s11_scheduler.json
+
+and as pytest-collected tests with loose (>1.0x) thresholds.
+"""
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.sparklet import SparkletContext
+
+from conftest import report
+
+
+def _best(fn, rounds=3):
+    """Best-of-N wall time in seconds (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- experiment 1: concurrent independent jobs -------------------------------
+
+def _fetchy_job(ctx, seed, io_ms, parts=2, rows=200):
+    """One small job whose tasks block on a simulated replica fetch.
+
+    The sleep stands in for the per-partition network read the paper's
+    co-located workers avoid; it is what makes job overlap visible
+    under the GIL (pure-Python compute would serialize anyway).
+    """
+    def fetch(it):
+        time.sleep(io_ms / 1000.0)
+        return [x * seed for x in it]
+
+    return (ctx.parallelize(range(rows), parts)
+            .mapPartitions(fetch)
+            .map(lambda x: (x % 8, x))
+            .reduceByKey(lambda a, b: a + b, parts)
+            .collect())
+
+
+def run_concurrent_jobs(*, jobs=4, io_ms=8, rounds=3):
+    """N independent I/O-bound jobs: submitted together vs one at a time."""
+    serial_ctx = SparkletContext(8, serialize_jobs=True)
+    conc_ctx = SparkletContext(8)
+
+    expected = [sorted(_fetchy_job(serial_ctx, s, io_ms))
+                for s in range(1, jobs + 1)]
+    got = [sorted(_fetchy_job(conc_ctx, s, io_ms))
+           for s in range(1, jobs + 1)]
+    assert got == expected, "concurrent scheduler changed job results"
+
+    def drive(ctx):
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_fetchy_job, ctx, s, io_ms)
+                       for s in range(1, jobs + 1)]
+            for f in futures:
+                f.result()
+
+    t_serial = _best(lambda: drive(serial_ctx), rounds)
+    t_conc = _best(lambda: drive(conc_ctx), rounds)
+    serial_ctx.stop()
+    conc_ctx.stop()
+    return {
+        "jobs": jobs,
+        "io_ms": io_ms,
+        "serialized_s": t_serial,
+        "concurrent_s": t_conc,
+        "speedup": t_serial / t_conc if t_conc else float("inf"),
+    }
+
+
+# -- experiment 2: narrow-chain fusion ---------------------------------------
+
+def _fusion_chain(ctx, data):
+    """Five adjacent narrow ops incl. the structural keyed forms the
+    codegen inlines as tuple expressions (no per-record lambda call)."""
+    return (ctx.parallelize(data, 4)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .keyBy(lambda x: x % 16)
+            .mapValues(lambda v: v * 3)
+            .values())
+
+
+def run_fusion(*, rows=300_000, passes=3, rounds=3):
+    data = list(range(rows))
+    fused_ctx = SparkletContext(4)
+    plain_ctx = SparkletContext(4, fuse_narrow=False)
+
+    assert (_fusion_chain(fused_ctx, data).collect()
+            == _fusion_chain(plain_ctx, data).collect()), "fusion parity"
+
+    def drive(ctx):
+        for _ in range(passes):
+            _fusion_chain(ctx, data).collect()
+
+    t_fused = _best(lambda: drive(fused_ctx), rounds)
+    t_plain = _best(lambda: drive(plain_ctx), rounds)
+    fused_ctx.stop()
+    plain_ctx.stop()
+    return {
+        "rows": rows,
+        "passes": passes,
+        "unfused_s": t_plain,
+        "fused_s": t_fused,
+        "speedup": t_plain / t_fused if t_fused else float("inf"),
+    }
+
+
+# -- experiment 3 (report-only): diamond-join stage pipelining ---------------
+
+def _diamond_join(ctx, io_ms, rows=400):
+    def slow(it):
+        time.sleep(io_ms / 1000.0)
+        return list(it)
+
+    base = ctx.parallelize(range(rows), 2).mapPartitions(slow)
+    left = base.map(lambda x: (x % 8, x)).reduceByKey(lambda a, b: a + b, 2)
+    right = base.map(lambda x: (x % 8, 1)).reduceByKey(lambda a, b: a + b, 2)
+    return left.join(right, 2).collect()
+
+
+def run_join_pipelining(*, io_ms=8, rounds=3):
+    """Both map sides of a join submit concurrently instead of in
+    lineage order — the schedule overlaps their simulated fetches."""
+    serial_ctx = SparkletContext(8, serialize_jobs=True)
+    conc_ctx = SparkletContext(8)
+    assert (sorted(_diamond_join(conc_ctx, io_ms))
+            == sorted(_diamond_join(serial_ctx, io_ms)))
+    t_serial = _best(lambda: _diamond_join(serial_ctx, io_ms), rounds)
+    t_conc = _best(lambda: _diamond_join(conc_ctx, io_ms), rounds)
+    serial_ctx.stop()
+    conc_ctx.stop()
+    return {
+        "io_ms": io_ms,
+        "serialized_s": t_serial,
+        "pipelined_s": t_conc,
+        "speedup": t_serial / t_conc if t_conc else float("inf"),
+    }
+
+
+# -- experiment 4 (asserted): exactly-once shared-lineage shuffle ------------
+
+def run_shared_lineage(*, jobs=8):
+    """Concurrent jobs over one shuffled RDD materialize it once."""
+    ctx = SparkletContext(8)
+    shuffled = (ctx.parallelize(range(2000), 4)
+                .map(lambda x: (x % 32, x))
+                .reduceByKey(lambda a, b: a + b, 4))
+    before = ctx.metrics.shuffles_materialized
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(shuffled.map(lambda kv: kv[1]).sum)
+                   for _ in range(jobs)]
+        results = [f.result() for f in futures]
+    materialized = ctx.metrics.shuffles_materialized - before
+    reused = ctx.metrics.shuffles_reused
+    ctx.stop()
+    assert len(set(results)) == 1, "concurrent sharers disagreed"
+    assert materialized == 1, f"shuffle computed {materialized}x, want 1"
+    return {"jobs": jobs, "materialized": materialized, "reused": reused}
+
+
+def run_all(*, quick=False):
+    rounds = 2 if quick else 3
+    return {
+        "concurrent_jobs": run_concurrent_jobs(
+            jobs=4, io_ms=8 if quick else 12, rounds=rounds),
+        "fusion": run_fusion(rows=200_000 if quick else 400_000,
+                             passes=2 if quick else 4, rounds=rounds),
+        "join_pipelining": run_join_pipelining(
+            io_ms=8 if quick else 12, rounds=rounds),
+        "shared_lineage": run_shared_lineage(),
+    }
+
+
+def _report_all(results):
+    cj, fu = results["concurrent_jobs"], results["fusion"]
+    jp, sl = results["join_pipelining"], results["shared_lineage"]
+    report("S11: concurrent scheduler + fusion", [
+        ("experiment", "baseline", "new scheduler", "note"),
+        (f"{cj['jobs']} concurrent jobs", f"{cj['serialized_s']:.4f}s",
+         f"{cj['concurrent_s']:.4f}s",
+         f"{cj['speedup']:.2f}x (io={cj['io_ms']}ms)"),
+        ("fused narrow chain", f"{fu['unfused_s']:.4f}s",
+         f"{fu['fused_s']:.4f}s",
+         f"{fu['speedup']:.2f}x ({fu['rows']} rows, 5 ops)"),
+        ("diamond join", f"{jp['serialized_s']:.4f}s",
+         f"{jp['pipelined_s']:.4f}s",
+         f"{jp['speedup']:.2f}x (both sides overlap)"),
+        ("shared lineage", "n jobs recompute",
+         f"{sl['materialized']} materialization",
+         f"{sl['jobs']} jobs, {sl['reused']} reuses"),
+    ])
+
+
+# -- pytest entry points -----------------------------------------------------
+
+class TestSchedulerBench:
+    def test_concurrent_jobs_win(self):
+        # CI smoke holds the 2x line; under pytest only require overlap
+        # to win at all (shared runners make timing loose).
+        r = run_concurrent_jobs(jobs=4, io_ms=6, rounds=2)
+        assert r["speedup"] > 1.0, r
+
+    def test_fusion_wins(self):
+        r = run_fusion(rows=150_000, passes=2, rounds=2)
+        assert r["speedup"] > 1.0, r
+
+    def test_shared_lineage_exactly_once(self):
+        r = run_shared_lineage()
+        assert r["materialized"] == 1, r
+
+    def test_report(self):
+        _report_all(run_all(quick=True))
+
+
+# -- standalone entry point (CI bench-smoke job) -----------------------------
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small data set / few passes (CI smoke)")
+    ap.add_argument("--json", dest="json_path",
+                    help="write timing results to this JSON file")
+    args = ap.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+    _report_all(results)
+    payload = {"bench": "s11_scheduler", "quick": args.quick,
+               "results": results}
+    if args.json_path:
+        with open(args.json_path, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.json_path}")
+
+    ok = (results["concurrent_jobs"]["speedup"] >= 2.0
+          and results["fusion"]["speedup"] >= 1.3)
+    if not ok:
+        print("FAIL: acceptance thresholds not met", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

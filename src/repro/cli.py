@@ -317,6 +317,17 @@ def _render_top_frame(frame: dict) -> str:
         f"{health['server']['errors']} errors   "
         f"telemetry rows: {frame['telemetry']['metrics_rows']} metric, "
         f"{frame['telemetry']['spans_rows']} span",
+    ]
+    sched = frame.get("scheduler")
+    if sched:
+        lines.append(
+            f"scheduler: {sched['active_jobs']:g} active jobs   "
+            f"shuffles {sched['shuffles_live']:g} live "
+            f"({sched['shuffle_records_held']:g} records), "
+            f"{sched['shuffles_materialized']:g} materialized, "
+            f"{sched['shuffles_reused']:g} reused   "
+            f"fused chains {sched['fused_chains']:g}")
+    lines += [
         "",
         f"{'METRIC':<42} {'KIND':<10} {'VALUE':>12} {'DELTA':>10}",
     ]
@@ -406,9 +417,29 @@ def _cmd_top(args) -> int:
         health = (await server.handle({"op": "health"}))["result"]
         slow = (await server.handle(
             {"op": "slow_queries", "stable": True}))["result"]
+
+        def latest_value(name: str) -> float:
+            row = latest.get(name)
+            if row is None:
+                return 0
+            return row.get("value", row.get("count")) or 0
+
+        # Sparklet scheduler/shuffle/fusion gauges, read back (like every
+        # other number on the dashboard) from the self-ingested tables.
+        scheduler = {
+            "active_jobs": latest_value("sparklet.scheduler.active_jobs"),
+            "shuffles_live": latest_value("sparklet.shuffle.live"),
+            "shuffle_records_held":
+                latest_value("sparklet.shuffle.records_held"),
+            "shuffles_materialized":
+                latest_value("sparklet.shuffle.materialized"),
+            "shuffles_reused": latest_value("sparklet.shuffle.reused"),
+            "fused_chains": latest_value("sparklet.fusion.chains"),
+        }
         return {
             "frame": n,
             "health": health,
+            "scheduler": scheduler,
             "telemetry": dict(stats, metrics_table_rows=table_rows),
             "metrics": metrics,
             "slowest": [

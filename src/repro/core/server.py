@@ -179,6 +179,10 @@ class AnalyticsServer:
                     # Complex analytics leave the event loop free
                     # (Tornado's non-blocking I/O property); to_thread
                     # copies the context, so the span tree follows.
+                    # Concurrent requests that reach the sparklet engine
+                    # run as truly concurrent jobs: the DAG scheduler
+                    # admits them in parallel and materializes any
+                    # shared shuffle lineage exactly once.
                     result = await asyncio.to_thread(handler, request)
                 response = {"ok": True, "result": _jsonable(result)}
             except Exception as exc:  # noqa: BLE001 - server boundary

@@ -111,6 +111,11 @@ class WorkerPool:
         self.blacklist_after = blacklist_after
         self.blacklisted: set[str] = set()
         self.worker_failures: dict[str, int] = {}
+        # The concurrent scheduler submits stages from several driver
+        # threads at once; failure bookkeeping is the only read-modify-
+        # write shared state, so it takes a lock (assign() reads the
+        # blacklist lock-free — a stale read only affects placement).
+        self._failure_lock = threading.Lock()
         # Chaos injection point (repro.chaos FaultGate); None — the
         # permanent default — costs one attribute check per task.
         self.chaos_gate = None
@@ -141,16 +146,17 @@ class WorkerPool:
         return candidates[next(self._rr) % len(candidates)]
 
     def _note_failure(self, worker: str) -> None:
-        count = self.worker_failures.get(worker, 0) + 1
-        self.worker_failures[worker] = count
-        if (
-            self.blacklist_after > 0
-            and count >= self.blacklist_after
-            and worker not in self.blacklisted
-            and len(self.blacklisted) + 1 < len(self.workers)
-        ):
-            self.blacklisted.add(worker)
-            _M_BLACKLISTED.inc()
+        with self._failure_lock:
+            count = self.worker_failures.get(worker, 0) + 1
+            self.worker_failures[worker] = count
+            if (
+                self.blacklist_after > 0
+                and count >= self.blacklist_after
+                and worker not in self.blacklisted
+                and len(self.blacklisted) + 1 < len(self.workers)
+            ):
+                self.blacklisted.add(worker)
+                _M_BLACKLISTED.inc()
 
     def run_tasks(
         self,

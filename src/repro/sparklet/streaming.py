@@ -22,6 +22,7 @@ belongs to the batch covering ``[k·interval, (k+1)·interval)`` with
 from __future__ import annotations
 
 import math
+import threading
 from collections import defaultdict
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
@@ -119,20 +120,29 @@ class InputDStream(DStream):
         self._buckets: dict[int, list] = defaultdict(list)
 
     def push(self, record: Any, timestamp: float) -> None:
-        """Deliver one record stamped with its event time (seconds)."""
+        """Deliver one record stamped with its event time (seconds).
+
+        Safe to call from receiver threads while the batch loop runs:
+        the clock lock makes the late-data clamp and the bucket append
+        atomic against the loop sealing a batch, so a record either
+        lands in a batch that has not started processing yet or is
+        folded forward — never into a bucket already popped.
+        """
         index = math.floor(timestamp / self.ssc.batch_interval)
-        if index < self.ssc._next_batch:
-            # Late data: fold into the earliest unprocessed batch rather
-            # than dropping it (simplest defensible policy).
-            index = self.ssc._next_batch
-        self._buckets[index].append(record)
+        with self.ssc._clock_lock:
+            if index < self.ssc._next_batch:
+                # Late data: fold into the earliest unprocessed batch
+                # rather than dropping it (simplest defensible policy).
+                index = self.ssc._next_batch
+            self._buckets[index].append(record)
 
     def push_many(self, records: Iterable[tuple[Any, float]]) -> None:
         for record, ts in records:
             self.push(record, ts)
 
     def compute(self, batch_index: int) -> RDD | None:
-        records = self._buckets.pop(batch_index, None)
+        with self.ssc._clock_lock:
+            records = self._buckets.pop(batch_index, None)
         if not records:
             return None
         return self.ssc.sc.parallelize(records)
@@ -224,6 +234,9 @@ class StreamingContext:
         self._next_batch = 0
         self._batch_cache: dict[tuple[int, int], RDD | None] = {}
         self.batches_run = 0
+        # Guards _next_batch and every InputDStream's buckets: receiver
+        # threads push() concurrently with the driver's batch loop.
+        self._clock_lock = threading.Lock()
 
     # -- graph management -----------------------------------------------------
 
@@ -255,7 +268,12 @@ class StreamingContext:
 
     def run_batch(self) -> int:
         """Process exactly one batch; returns its index."""
-        index = self._next_batch
+        # Seal the batch up front: a record pushed while this batch is
+        # processing clamps forward to the next one instead of landing
+        # in (or racing with) a bucket the loop is about to pop.
+        with self._clock_lock:
+            index = self._next_batch
+            self._next_batch = index + 1
         # Outputs pull their stream's RDD; stateful/windowed streams also
         # need their compute() invoked every batch to advance state.
         for stream in self._streams:
@@ -265,7 +283,6 @@ class StreamingContext:
             rdd = self._rdd_for(stream, index)
             if rdd is not None:
                 callback(rdd)
-        self._next_batch += 1
         self.batches_run += 1
         self._gc_cache(index)
         return index

@@ -215,3 +215,56 @@ class TestState:
         ssc.advance(2)
         assert dict(out[0]) == {"a": 1}
         assert dict(out[1]) == {}  # reached 2 -> dropped
+
+
+class TestPushThreadSafety:
+    def test_receiver_threads_hammer_push_during_batches(self, sc):
+        """Receivers push() concurrently with the driver's batch loop;
+        every record must come out exactly once (clamped forward if its
+        batch already sealed — never lost, never duplicated)."""
+        import threading
+
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+
+        receivers, per_receiver = 6, 200
+        start = threading.Barrier(receivers + 1)
+
+        def receive(rid):
+            start.wait()
+            for i in range(per_receiver):
+                # Timestamps spread over past and future batches to
+                # exercise both the clamp and the normal path.
+                inp.push((rid, i), timestamp=float(i % 12))
+
+        threads = [threading.Thread(target=receive, args=(r,))
+                   for r in range(receivers)]
+        for t in threads:
+            t.start()
+        start.wait()
+        # Drive batches while receivers are still pushing.
+        for _ in range(12):
+            ssc.run_batch()
+        for t in threads:
+            t.join()
+        # Drain whatever clamped past the already-run batches.
+        for _ in range(4):
+            ssc.run_batch()
+
+        got = [record for batch in out for record in batch]
+        assert len(got) == receivers * per_receiver
+        assert (sorted(got)
+                == sorted((r, i) for r in range(receivers)
+                          for i in range(per_receiver)))
+
+    def test_late_push_lands_in_next_unprocessed_batch(self, sc):
+        ssc = StreamingContext(sc, batch_interval=1.0)
+        inp = ssc.input_stream()
+        out = []
+        inp.collect_batches(out)
+        ssc.advance(3)  # batches 0-2 already sealed
+        inp.push("late", timestamp=0.5)
+        ssc.advance(1)
+        assert out == [["late"]]
