@@ -11,6 +11,8 @@ behaviour the streaming ingest pipeline has to coalesce away.
 
 from __future__ import annotations
 
+from repro import obs
+
 from .broker import MessageBus, Record
 
 __all__ = ["ConsumerGroup", "Consumer"]
@@ -25,6 +27,15 @@ class ConsumerGroup:
         self.topic = topic
         self._members: list["Consumer"] = []
         self.rebalances = 0
+        # Per-partition delivery high-water mark (offset + 1 of the
+        # newest record any member has polled).  Group-level, not
+        # member-level, so it survives crash/rebalance — which is
+        # exactly when uncommitted records come back.  A fetch below
+        # this mark is a redelivery; a chaos-dropped fetch (records
+        # never returned) is not, because the mark never advanced.
+        self._delivered: dict[int, int] = {}
+        self._m_redelivered = obs.get_registry().counter(
+            "bus.consumer.redelivered", group=group_id, topic=topic)
 
     def join(self) -> "Consumer":
         consumer = Consumer(self)
@@ -84,6 +95,12 @@ class Consumer:
             )
             records = bus.fetch(self.group.topic, p, pos, budget)
             if records:
+                high = self.group._delivered.get(p, 0)
+                replayed = sum(1 for r in records if r.offset < high)
+                if replayed:
+                    self.group._m_redelivered.inc(replayed)
+                self.group._delivered[p] = max(high,
+                                               records[-1].offset + 1)
                 self._positions[p] = records[-1].offset + 1
                 out.extend(records)
                 budget -= len(records)

@@ -14,6 +14,9 @@ paper's workflow without writing Python:
   while its own telemetry streams through the bus into
   ``metrics_by_time``/``spans_by_time``, rendered as a text dashboard
   (``--once``/``--json`` for scripts and CI);
+* ``alerts``   — stream a seeded workload (storms included) through the
+  anomaly-detection pipeline and tail the alerts that land in
+  ``alerts_by_time`` (``--json``/``--since``/``--severity``);
 * ``topology`` — inspect the Titan coordinate system;
 * ``explain``  — show the optimized query plan for a CQL statement
   against the paper's data model (``--json`` for the raw plan tree);
@@ -109,6 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--hours", type=float, default=0.5,
                      help="synthetic workload span")
     top.add_argument("--rate-multiplier", type=float, default=20.0)
+    top.add_argument("--storms-per-day", type=float, default=2.0)
+    top.add_argument("--storm-events-per-node", type=float, default=4.0)
     top.add_argument("--interval", type=float, default=1.0,
                      help="snapshot + refresh interval seconds")
     top.add_argument("--frames", type=int, default=0,
@@ -118,6 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--json", action="store_true", dest="as_json",
                      help="emit machine-readable frames instead of the "
                           "dashboard")
+
+    al = sub.add_parser(
+        "alerts",
+        help="stream a seeded workload through anomaly detection and "
+             "tail the resulting alerts")
+    add_machine_args(al)
+    al.add_argument("--hours", type=float, default=1.0,
+                    help="synthetic workload span")
+    al.add_argument("--rate-multiplier", type=float, default=40.0)
+    al.add_argument("--storms-per-day", type=float, default=48.0)
+    al.add_argument("--storm-events-per-node", type=float, default=20.0)
+    al.add_argument("--since", type=float, default=None,
+                    help="only alerts at/after this event-time second")
+    al.add_argument("--severity", default=None,
+                    choices=["info", "warning", "critical"])
+    al.add_argument("--tail", type=int, default=20,
+                    help="show the newest N alerts (0 = all)")
+    al.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the alerts server-op response as JSON")
 
     topo = sub.add_parser("topology", help="inspect Titan coordinates")
     topo.add_argument("query", help="a cname (c3-17c1s5n2) or node index")
@@ -183,6 +207,14 @@ def _cmd_generate(args) -> int:
             "cascades": gen.ground_truth.cascades,
         }, fh, indent=2)
     print(f"  ground truth: {truth_path}")
+    labels_path = os.path.join(args.out, "labels.json")
+    with open(labels_path, "w", encoding="utf-8") as fh:
+        json.dump([
+            {"event_index": idx, "burst_id": burst_id, "kind": kind}
+            for idx, burst_id, kind in gen.ground_truth.labels
+        ], fh)
+    print(f"  labels: {labels_path} "
+          f"({len(gen.ground_truth.labels)} injected events)")
     if args.jobs:
         runs = JobGenerator(topo, seed=args.seed).generate(args.hours)
         jobs_path = os.path.join(args.out, "jobs.json")
@@ -305,6 +337,86 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _stream_with_detection(fw, bus, events):
+    """Publish *events* to the bus and drain them through streaming
+    ingest with the detection workload attached — the full §III-D
+    pipeline plus the watcher, shared by ``alerts`` and ``top``."""
+    from repro.ingest import LogProducer
+    from repro.ingest.parsers import ParsedEvent
+
+    producer = LogProducer(bus, "events")
+    # Producer-side parsing already done (the generator emits structured
+    # events); adapt to the wire shape instead of render+reparse.
+    producer.publish_events([
+        ParsedEvent(ts=e.ts, type=e.type, component=e.component,
+                    source=e.source, amount=e.amount, attrs=e.attrs)
+        for e in events
+    ])
+    ingestor = fw.streaming_ingestor(bus, "events")
+    detection = fw.attach_detection(ingestor, bus)
+    while ingestor.process_available():
+        pass
+    ingestor.flush()
+    return ingestor, detection, detection.drain()
+
+
+def _fmt_alert(alert: dict) -> str:
+    evidence = alert.get("evidence") or {}
+    brief = " ".join(
+        f"{k}={evidence[k]}" for k in sorted(evidence)
+        if not isinstance(evidence[k], (dict, list))
+    )[:58]
+    return (f"  [{alert['ts']:>9.1f}s] {alert['severity'].upper():<8} "
+            f"{alert['detector']:<14} {alert['key']:<24} "
+            f"score={alert['score']:<8g} {brief}")
+
+
+def _cmd_alerts(args) -> int:
+    """Stream a seeded workload (storms included) through detection and
+    read the alerts back through the server op — the full round trip:
+    detector → alerts topic → alerts_by_time → ``alerts`` op."""
+    from repro.bus import MessageBus
+    from repro.core import AnalyticsServer
+
+    topo = TitanTopology(rows=args.rows, cols=args.cols)
+    fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
+    gen = LogGenerator(topo, seed=args.seed,
+                       rate_multiplier=args.rate_multiplier,
+                       storms_per_day=args.storms_per_day,
+                       storm_events_per_node=args.storm_events_per_node)
+    events = gen.generate(args.hours)
+    bus = MessageBus()
+    _ingestor, _detection, stats = _stream_with_detection(fw, bus, events)
+    server = AnalyticsServer(fw)
+    t1 = args.hours * 3600.0 + 120.0
+    request = {"op": "alerts", "t0": args.since or 0.0, "t1": t1,
+               "limit": args.tail}
+    if args.severity:
+        request["severity"] = args.severity
+    response = server.handle_sync(request)
+    if not response["ok"]:
+        print(f"alerts op failed: {response['error']}", file=sys.stderr)
+        fw.stop()
+        return 1
+    result = response["result"]
+    if args.as_json:
+        print(json.dumps(result))
+    else:
+        summary = server.handle_sync(
+            {"op": "alert_summary", "t0": 0.0, "t1": t1})["result"]
+        sev = summary["by_severity"]
+        print(f"ALERTS — showing {len(result['alerts'])} of "
+              f"{result['total']} "
+              f"({sev.get('critical', 0)} critical, "
+              f"{sev.get('warning', 0)} warning, {sev.get('info', 0)} info; "
+              f"{len(gen.ground_truth.storms)} storms injected, "
+              f"{stats['windows']} windows watched)")
+        for alert in result["alerts"]:
+            print(_fmt_alert(alert))
+    fw.stop()
+    return 0
+
+
 def _render_top_frame(frame: dict) -> str:
     """One dashboard frame as plain text (no curses: pipe-friendly)."""
     health = frame["health"]
@@ -327,6 +439,20 @@ def _render_top_frame(frame: dict) -> str:
             f"{sched['shuffles_materialized']:g} materialized, "
             f"{sched['shuffles_reused']:g} reused   "
             f"fused chains {sched['fused_chains']:g}")
+    ingest = frame.get("ingest")
+    if ingest:
+        lines.append(
+            f"ingest: lag {ingest['lag']:g}   "
+            f"{ingest['polled']:g} polled → {ingest['written']:g} written "
+            f"({ingest['coalesced_away']:g} coalesced away)")
+    alerts = frame.get("alerts")
+    if alerts is not None:
+        sev = alerts.get("by_severity", {})
+        lines.append(
+            f"alerts: {alerts['total']} total — "
+            f"{sev.get('critical', 0)} critical, "
+            f"{sev.get('warning', 0)} warning, "
+            f"{sev.get('info', 0)} info")
     lines += [
         "",
         f"{'METRIC':<42} {'KIND':<10} {'VALUE':>12} {'DELTA':>10}",
@@ -364,15 +490,22 @@ def _cmd_top(args) -> int:
 
     topo = TitanTopology(rows=args.rows, cols=args.cols)
     fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
-    fw.ingest_events(
+    bus = MessageBus()
+    # The workload arrives the way production events would: published
+    # to the bus, streamed through 1 s micro-batches into the model,
+    # with the detection workload watching the same windows.
+    _ingestor, _detection, _ = _stream_with_detection(
+        fw, bus,
         LogGenerator(topo, seed=args.seed,
-                     rate_multiplier=args.rate_multiplier)
+                     rate_multiplier=args.rate_multiplier,
+                     storms_per_day=args.storms_per_day,
+                     storm_events_per_node=args.storm_events_per_node)
         .generate(args.hours))
     slow_log = obs.SlowQueryLog(threshold_ms=0.0, capacity=64)
     server = AnalyticsServer(fw, slow_log=slow_log)
-    bus = MessageBus()
     pipeline = fw.telemetry_pipeline(bus, interval_s=args.interval)
-    ctx = fw.context(0.0, _data_horizon(fw, 0.0)).to_json()
+    data_t1 = _data_horizon(fw, 0.0)
+    ctx = fw.context(0.0, data_t1).to_json()
     workload = [{"op": "heatmap", "context": ctx},
                 {"op": "hotspots", "context": ctx},
                 {"op": "synopsis", "hour": 0}]
@@ -436,10 +569,21 @@ def _cmd_top(args) -> int:
             "shuffles_reused": latest_value("sparklet.shuffle.reused"),
             "fused_chains": latest_value("sparklet.fusion.chains"),
         }
+        ingest = {
+            "lag": latest_value("ingest.stream.lag"),
+            "polled": latest_value("ingest.stream.polled"),
+            "written": latest_value("ingest.stream.written"),
+            "coalesced_away": latest_value("ingest.stream.coalesced_away"),
+        }
+        alerts = (await server.handle(
+            {"op": "alert_summary", "t0": 0.0, "t1": data_t1 + 120.0}
+        ))["result"]
         return {
             "frame": n,
             "health": health,
             "scheduler": scheduler,
+            "ingest": ingest,
+            "alerts": alerts,
             "telemetry": dict(stats, metrics_table_rows=table_rows),
             "metrics": metrics,
             "slowest": [
@@ -541,6 +685,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "metrics": _cmd_metrics,
     "top": _cmd_top,
+    "alerts": _cmd_alerts,
     "topology": _cmd_topology,
     "explain": _cmd_explain,
     "chaos": _cmd_chaos,

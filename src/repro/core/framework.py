@@ -185,6 +185,27 @@ class LogAnalyticsFramework:
             interval_s=interval_s, group_id=group_id,
         )
 
+    def attach_detection(self, ingestor: StreamingIngestor, bus, *,
+                         topic: str | None = None, detectors=None,
+                         group_id: str = "alert-ingest"):
+        """Attach the anomaly-detection workload (``repro.detect``) to a
+        streaming ingestor: a :class:`~repro.detect.DetectionEngine`
+        subscribing to its coalesced micro-batches, publishing alerts to
+        *bus*, and an alert ingestor landing them in this cluster's
+        ``alerts_by_time`` table.  Returns the composed
+        :class:`~repro.detect.DetectionPipeline`."""
+        from repro.detect import ALERTS_TOPIC, DetectionEngine, \
+            DetectionPipeline
+
+        self._check_ready()
+        topic = ALERTS_TOPIC if topic is None else topic
+        engine = DetectionEngine(
+            self.topology, bus, topic=topic, detectors=detectors,
+            interval=ingestor.ssc.batch_interval, sc=self.sc,
+        ).attach(ingestor)
+        return DetectionPipeline(engine, bus, self.cluster, self.sc,
+                                 topic=topic, group_id=group_id)
+
     @_traced
     def refresh_synopsis(self) -> int:
         self._check_ready()

@@ -51,6 +51,7 @@ SIMPLE_OPS = frozenset({
     "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
     "explain", "metrics", "trace", "slow_queries",
     "telemetry_series", "telemetry_spans", "health",
+    "alerts", "alert_summary",
 })
 COMPLEX_OPS = frozenset({
     "heatmap", "heatmap_grid", "distribution", "distribution_by_application",
@@ -433,6 +434,75 @@ class AnalyticsServer:
         roots.sort(key=lambda n: -n["duration_ms"])
         return {"t0": t0, "t1": t1, "spans": len(by_id),
                 "trees": roots[:limit]}
+
+    # -- detection alerts (repro.detect) --------------------------------------
+
+    def _alert_rows(self, request) -> tuple[float, float, list[dict]]:
+        """Windowed, filtered rows of ``alerts_by_time``: one partition
+        read per covered minute, the same scatter ``telemetry_series``
+        does — plus optional severity/detector equality filters."""
+        from repro.cassdb.errors import SchemaError
+
+        t0, t1 = self._telemetry_window(request)
+        try:
+            self.framework.cluster.schema("alerts_by_time")
+        except SchemaError:
+            raise LookupError(
+                "alerts_by_time not provisioned — attach a "
+                "DetectionPipeline (repro.detect) so alerts land"
+            ) from None
+        severity = request.get("severity")
+        detector = request.get("detector")
+        partitions = [
+            (minute,)
+            for minute in range(int(t0 // 60), int((t1 - 1e-9) // 60) + 1)
+        ]
+        rows: list[dict] = []
+        for part in self.framework.cluster.select_partitions(
+                "alerts_by_time", partitions):
+            for row in part:
+                if not t0 <= row["ts"] < t1:
+                    continue
+                if severity and row.get("severity") != severity:
+                    continue
+                if detector and row.get("detector") != detector:
+                    continue
+                alert = {k: v for k, v in row.items()
+                         if k != "minute_bucket"}
+                if alert.get("evidence"):
+                    alert["evidence"] = json.loads(alert["evidence"])
+                rows.append(alert)
+        rows.sort(key=lambda a: (a["ts"], a.get("seq", 0)))
+        return t0, t1, rows
+
+    def _op_alerts(self, request):
+        """Tail of the alert stream in a window (newest last)."""
+        limit = int(request.get("limit", 100))
+        t0, t1, rows = self._alert_rows(request)
+        return {"t0": t0, "t1": t1, "total": len(rows),
+                "alerts": rows[-limit:] if limit else rows}
+
+    def _op_alert_summary(self, request):
+        """Aggregate alert picture for a window: counts by severity and
+        detector, the busiest keys, and the newest alert's timestamp."""
+        t0, t1, rows = self._alert_rows(request)
+        by_severity: dict[str, int] = {}
+        by_detector: dict[str, int] = {}
+        by_key: dict[str, int] = {}
+        for row in rows:
+            by_severity[row["severity"]] = (
+                by_severity.get(row["severity"], 0) + 1)
+            by_detector[row["detector"]] = (
+                by_detector.get(row["detector"], 0) + 1)
+            by_key[row["key"]] = by_key.get(row["key"], 0) + 1
+        top_keys = sorted(by_key.items(), key=lambda kv: (-kv[1], kv[0]))
+        return {
+            "t0": t0, "t1": t1, "total": len(rows),
+            "by_severity": dict(sorted(by_severity.items())),
+            "by_detector": dict(sorted(by_detector.items())),
+            "top_keys": [{"key": k, "count": n} for k, n in top_keys[:5]],
+            "latest_ts": rows[-1]["ts"] if rows else None,
+        }
 
     def _op_health(self, request):
         """Per-node liveness/breaker state plus a ring summary — the

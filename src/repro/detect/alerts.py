@@ -1,0 +1,213 @@
+"""Typed alerts and their pipeline: bus topic → ``alerts_by_time``.
+
+An :class:`Alert` is the detection subsystem's unit of output — a
+severity-tagged, scored claim about one (detector, key, window).  The
+engine publishes alerts to the dedicated ``alerts`` bus topic exactly
+like event producers publish occurrences; an :class:`AlertIngestor`
+consumer group lands them in the minute-bucketed ``alerts_by_time``
+cassdb table via ``write_batch`` — the same streaming-ingest shape
+events and self-ingested telemetry already ride, so alerts are
+queryable (``alerts`` / ``alert_summary`` server ops) the moment the
+open micro-batch flushes.
+
+All timestamps are **event time** (the window that produced the
+alert), never wall clock: a replayed stream produces byte-identical
+alerts, which is what lets CI diff two detection runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.cassdb import TableSchema
+from repro.cassdb.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bus import MessageBus
+    from repro.cassdb import Cluster
+    from repro.sparklet import SparkletContext
+
+__all__ = [
+    "ALERTS_TOPIC",
+    "ALERT_SCHEMAS",
+    "SEVERITIES",
+    "ensure_alert_tables",
+    "Alert",
+    "AlertPublisher",
+    "AlertIngestor",
+]
+
+ALERTS_TOPIC = "alerts"
+
+MINUTE = 60.0
+
+# Ordered least to most severe; "info" is structure worth a look
+# (lead-lag findings, storm all-clears), "critical" is an incident.
+SEVERITIES = ("info", "warning", "critical")
+
+ALERT_SCHEMAS: dict[str, TableSchema] = {
+    "alerts_by_time": TableSchema(
+        "alerts_by_time",
+        partition_key=("minute_bucket",),
+        clustering_key=("ts", "seq"),
+        key_codecs=(("minute_bucket", int),),
+        description="Detection alerts: partition minute_bucket, "
+                    "clustered by (ts, seq)",
+    ),
+}
+
+
+def ensure_alert_tables(cluster: "Cluster") -> None:
+    """Create ``alerts_by_time`` if absent (idempotent)."""
+    for schema in ALERT_SCHEMAS.values():
+        try:
+            cluster.create_table(schema)
+        except SchemaError:
+            pass  # already provisioned
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One detection finding, self-describing and JSON-serializable."""
+
+    ts: float                  # event time (= window_end)
+    severity: str              # one of SEVERITIES
+    detector: str              # emitting detector's name
+    key: str                   # what it is about: "MCE|c0-0", "c1-3", ...
+    window_start: float
+    window_end: float
+    score: float               # detector-specific magnitude (z, lift, ...)
+    evidence: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity: {self.severity!r}")
+
+    def to_record(self) -> dict[str, Any]:
+        """The bus payload (plain dict; evidence stays structured)."""
+        return {
+            "ts": self.ts,
+            "severity": self.severity,
+            "detector": self.detector,
+            "key": self.key,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "score": self.score,
+            "evidence": dict(self.evidence),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Alert":
+        return cls(
+            ts=float(record["ts"]),
+            severity=record["severity"],
+            detector=record["detector"],
+            key=record["key"],
+            window_start=float(record["window_start"]),
+            window_end=float(record["window_end"]),
+            score=float(record["score"]),
+            evidence=dict(record.get("evidence", {})),
+        )
+
+
+class AlertPublisher:
+    """Producer side: alerts onto the ``alerts`` topic.
+
+    Keyed by detector name so one detector's alerts stay ordered within
+    a topic partition (the per-key ordering contract every producer in
+    the system relies on).
+    """
+
+    def __init__(self, bus: "MessageBus", topic: str = ALERTS_TOPIC):
+        from repro import obs
+        from repro.bus import Producer
+
+        bus.ensure_topic(topic)
+        self.topic = topic
+        self._producer = Producer(bus, default_topic=topic)
+        self._registry = obs.get_registry()
+
+    def publish(self, alerts: list[Alert]) -> int:
+        for alert in alerts:
+            self._producer.send(alert.to_record(), key=alert.detector,
+                                timestamp=alert.ts)
+            self._registry.counter(
+                "detect.alerts", detector=alert.detector,
+                severity=alert.severity).inc()
+        return len(alerts)
+
+    @property
+    def published(self) -> int:
+        return self._producer.sent
+
+
+class AlertIngestor:
+    """Consumer side: the ``alerts`` topic into ``alerts_by_time``.
+
+    The same micro-batch shape as event and telemetry ingest: a
+    consumer group polls, records ride a sparklet
+    :class:`~repro.sparklet.streaming.StreamingContext`, one closed
+    batch becomes one ``write_batch``.  Alert timestamps are event time
+    (simulation seconds), so the logical clock needs no epoch rebasing;
+    the batch interval defaults to one minute because alerts are sparse
+    and the table is minute-bucketed anyway.
+    """
+
+    def __init__(self, bus: "MessageBus", topic: str, cluster: "Cluster",
+                 sc: "SparkletContext", *, batch_interval: float = MINUTE,
+                 group_id: str = "alert-ingest"):
+        from repro.bus import ConsumerGroup
+        from repro.sparklet.streaming import StreamingContext
+
+        ensure_alert_tables(cluster)
+        self.cluster = cluster
+        self.rows_written = 0
+        self._seq = itertools.count()
+        bus.ensure_topic(topic)
+        self._group = ConsumerGroup(bus, group_id, topic)
+        self._consumer = self._group.join()
+        self.ssc = StreamingContext(sc, batch_interval)
+        self._input = self.ssc.input_stream()
+        self._input.foreachRDD(self._write_batch)
+
+    def _write_batch(self, rdd) -> None:
+        from repro import obs
+
+        records = rdd.collect()
+        rows = []
+        for record in records:
+            row = {k: v for k, v in record.items() if k != "evidence"}
+            row["minute_bucket"] = int(record["ts"] // MINUTE)
+            row["seq"] = next(self._seq)
+            if record.get("evidence"):
+                row["evidence"] = json.dumps(record["evidence"],
+                                             sort_keys=True, default=str)
+            rows.append(row)
+        if rows:
+            written = self.cluster.write_batch("alerts_by_time", rows)
+            self.rows_written += written
+            obs.get_registry().counter("detect.alerts_ingested").inc(written)
+
+    def process_available(self, max_records: int = 100_000) -> int:
+        """Poll, run complete batches, commit; returns records polled."""
+        records = self._consumer.poll(max_records)
+        if not records:
+            return 0
+        latest = 0.0
+        for record in records:
+            self._input.push(record.value, record.timestamp)
+            latest = max(latest, record.timestamp)
+        self.ssc.advance_to(latest)
+        self._consumer.commit()
+        return len(records)
+
+    def flush(self) -> None:
+        """Force the open micro-batch out (freshness over batching)."""
+        self.ssc.advance(1)
+
+    @property
+    def lag(self) -> int:
+        return self._group.lag()

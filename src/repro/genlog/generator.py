@@ -74,6 +74,13 @@ class GroundTruth:
     hot_nodes: dict[str, list[str]] = field(default_factory=dict)
     storms: list[StormInfo] = field(default_factory=list)
     cascades: list[tuple[str, float]] = field(default_factory=list)
+    # Per-event injection labels: (event_index, burst_id, kind), where
+    # event_index points into the sorted list generate() returned,
+    # burst_id is the injection's index within its kind (storm i /
+    # cabinet burst j) and kind is "storm" or "cabinet_burst".  Lets
+    # detection benches score precision/recall without re-deriving
+    # which events were injected.
+    labels: list[tuple[int, int, str]] = field(default_factory=list)
 
 
 class LogGenerator:
@@ -149,6 +156,7 @@ class LogGenerator:
             {loc.gemini_id for loc in topology.nodes()}
         )
         self.ground_truth = GroundTruth()
+        self._injection_tags: dict[int, tuple[int, str]] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -159,12 +167,20 @@ class LogGenerator:
         rng = np.random.default_rng(self.seed)
         horizon = hours * 3600.0
         self.ground_truth = GroundTruth()
+        # Injected events tagged by object identity while every event is
+        # still alive in `events`; resolved to sorted indices below.
+        self._injection_tags: dict[int, tuple[int, str]] = {}
         events: list[GeneratedEvent] = []
         events.extend(self._baseline(rng, horizon))
         events.extend(self._storms(rng, horizon))
         events.extend(self._cabinet_bursts(rng, horizon))
         events.extend(self._cascades(rng, events, horizon))
         events.sort(key=lambda e: (e.ts, e.type, e.component))
+        for index, event in enumerate(events):
+            tag = self._injection_tags.get(id(event))
+            if tag is not None:
+                self.ground_truth.labels.append((index, tag[0], tag[1]))
+        self._injection_tags = {}
         return events
 
     def raw_lines(self, events: Iterable[GeneratedEvent]) -> Iterator[str]:
@@ -333,7 +349,7 @@ class LogGenerator:
             # deterministic-position storm in that case.
             triggers = np.array([float(rng.uniform(0.2, 0.8)) * horizon])
         n_nodes = len(self._cnames)
-        for start in triggers:
+        for storm_id, start in enumerate(triggers):
             duration = float(rng.uniform(120.0, 600.0))
             ost = f"atlas-OST{int(rng.integers(0, 1008)):04x}"
             afflicted = rng.choice(
@@ -351,14 +367,16 @@ class LogGenerator:
                     ts = float(start + off)
                     if ts >= horizon:
                         continue
-                    out.append(GeneratedEvent(
+                    event = GeneratedEvent(
                         ts=ts, type="LUSTRE_ERR",
                         component=self._cnames[int(node_idx)],
                         source=etype.source,
                         attrs={"ost": ost,
                                "rc": int(rng.choice(_LUSTRE_RCS)),
                                "pid": int(rng.integers(1000, 65000))},
-                    ))
+                    )
+                    out.append(event)
+                    self._injection_tags[id(event)] = (storm_id, "storm")
                     total += 1
             self.ground_truth.storms.append(
                 StormInfo(float(start), duration, ost, total)
@@ -387,7 +405,7 @@ class LogGenerator:
             by_cabinet.setdefault(m.group(1) if m else gemini,
                                   []).append(gemini)
         cab_names = sorted(by_cabinet)
-        for start in triggers:
+        for burst_id, start in enumerate(triggers):
             cab = cab_names[int(rng.integers(0, len(cab_names)))]
             links = by_cabinet[cab]
             chosen = rng.choice(
@@ -399,13 +417,15 @@ class LogGenerator:
                 ts = float(start + rng.uniform(0.0, 60.0))
                 if ts >= horizon:
                     continue
-                out.append(GeneratedEvent(
+                event = GeneratedEvent(
                     ts=ts, type="NET_LANE_DEGRADE",
                     component=links[int(link_idx)],
                     source=etype.source,
                     attrs={"gemini": links[int(link_idx)],
                            "ber": f"{rng.uniform(1, 9):.1f}e-6"},
-                ))
+                )
+                out.append(event)
+                self._injection_tags[id(event)] = (burst_id, "cabinet_burst")
         return out
 
     def _cascades(self, rng: np.random.Generator,

@@ -101,7 +101,15 @@ class StreamingIngestor:
         self._input = self.ssc.input_stream()
         interval = batch_interval
 
-        coalesced = (
+        # Window observers (repro.detect's DetectionEngine): called with
+        # each closed window's coalesced, time-sorted events — the exact
+        # list the sink batch writes, collected once and shared, so a
+        # second workload costs no extra per-window job.
+        self._observers: list = []
+        # Public: downstream subscribers may also register their own
+        # outputs on this same stream and share the per-batch RDD the
+        # sink write materializes.
+        self.coalesced = (
             self._input
             .map(lambda e: ((e.type, e.component, int(e.ts // interval)), e))
             .reduceByKey(lambda a, b: ParsedEvent(
@@ -110,7 +118,7 @@ class StreamingIngestor:
                 raw=a.raw))
             .map(lambda kv: kv[1])
         )
-        coalesced.foreachRDD(self._write_batch)
+        self.coalesced.foreachRDD(self._write_batch)
 
     def _write_batch(self, rdd) -> None:
         # One streaming window -> one sink batch (the batched sink
@@ -120,6 +128,8 @@ class StreamingIngestor:
         events = sorted(rdd.collect(), key=lambda e: (e.ts, e.type,
                                                       e.component))
         if events:
+            for observer in self._observers:
+                observer(events)
             written = self.sink.write_events(events)
             self.stats.written += written
             registry = obs.get_registry()
@@ -128,6 +138,12 @@ class StreamingIngestor:
             registry.histogram(
                 "ingest.stream.batch_rows",
                 buckets=(10, 100, 1000, 10_000)).observe(written)
+
+    def add_observer(self, observer) -> None:
+        """Register a per-window callback: ``observer(events)`` with the
+        closed window's coalesced events (time-sorted), before the sink
+        write.  Empty windows are never observed."""
+        self._observers.append(observer)
 
     def process_available(self, max_records: int = 100_000) -> int:
         """Poll, run every complete batch, commit.  Returns events polled.
@@ -139,6 +155,9 @@ class StreamingIngestor:
         tracer = obs.get_tracer()
         records = self._consumer.poll(max_records)
         if not records:
+            # Still refresh the gauges: a drained stream should read
+            # lag 0 on the dashboard, not its last nonzero value.
+            self._export_gauges()
             return 0
         if tracer.current_span() is not None:
             span_cm = tracer.span("ingest.stream.poll")
@@ -168,14 +187,25 @@ class StreamingIngestor:
         registry = obs.get_registry()
         registry.counter("ingest.stream.polled").inc(len(records))
         registry.counter("ingest.stream.batches").inc(batches)
-        registry.gauge("ingest.stream.lag").set(self._group.lag())
+        self._export_gauges()
         return len(records)
+
+    def _export_gauges(self) -> None:
+        """Publish lag and the StreamStats picture as ``ingest.stream.*``
+        gauges — the pipeline's health, readable without a handle on
+        this object (``repro top``, Prometheus exposition)."""
+        registry = obs.get_registry()
+        registry.gauge("ingest.stream.lag").set(self._group.lag())
+        registry.gauge("ingest.stream.written").set(self.stats.written)
+        registry.gauge("ingest.stream.coalesced_away").set(
+            self.stats.coalesced_away)
 
     def flush(self) -> None:
         """Force the open batch out (end of stream)."""
         before = self.ssc.batches_run
         self.ssc.advance(1)
         self.stats.batches += self.ssc.batches_run - before
+        self._export_gauges()
 
     @property
     def lag(self) -> int:

@@ -1,0 +1,297 @@
+"""Unit tests for the online detectors in :mod:`repro.detect.detectors`."""
+
+import json
+
+import pytest
+
+from repro.detect import (
+    EWMARateDetector,
+    LeadLagDetector,
+    LustreStormDetector,
+    SpatialBurstDetector,
+    cabinet_of,
+)
+from repro.titan import TitanTopology
+
+
+class TestCabinetOf:
+    def test_node_cname(self):
+        assert cabinet_of("c3-17c1s5n2") == "c3-17"
+
+    def test_gemini_id(self):
+        assert cabinet_of("c3-17c1s5g0") == "c3-17"
+
+    def test_bare_cabinet(self):
+        assert cabinet_of("c0-0") == "c0-0"
+
+    def test_non_cray_component_maps_to_itself(self):
+        assert cabinet_of("login1") == "login1"
+
+
+class TestEWMARateDetector:
+    KEY = ("MCE", "c0-0")
+
+    def _warm(self, det, windows, count=1, start=0):
+        for w in range(start, start + windows):
+            assert det.observe(float(w), {self.KEY: count}) == []
+
+    def test_warmup_suppression(self):
+        det = EWMARateDetector()
+        # A huge spike before min_samples windows must stay silent.
+        self._warm(det, 10)
+        assert det.observe(10.0, {self.KEY: 500}) == []
+
+    def test_threshold_crossing_after_warmup(self):
+        det = EWMARateDetector()
+        self._warm(det, 40)
+        alerts = det.observe(40.0, {self.KEY: 50})
+        assert len(alerts) == 1
+        a = alerts[0]
+        assert a.detector == "ewma_rate"
+        assert a.severity == "warning"
+        assert a.key == "MCE|c0-0"
+        assert a.score >= det.threshold
+        assert a.window_start == 40.0 and a.window_end == 41.0
+        assert a.ts == a.window_end
+        assert a.evidence["count"] == 50
+
+    def test_min_count_floor_gates_quiet_spikes(self):
+        # 5-vs-~0 is a giant z but below min_count: never alerts.
+        det = EWMARateDetector(min_count=8)
+        self._warm(det, 40, count=0)
+        assert det.observe(40.0, {self.KEY: 5}) == []
+
+    def test_gap_decays_baseline(self):
+        det = EWMARateDetector(min_samples=1, min_count=1)
+        self._warm(det, 40, count=10)
+        # Long silence: the EWMA must have decayed toward zero, so a
+        # return to the old level now looks like a surge.
+        alerts = det.observe(1000.0, {self.KEY: 10})
+        assert len(alerts) == 1
+
+    def test_ttl_eviction(self):
+        det = EWMARateDetector(ttl_windows=10)
+        det.observe(0.0, {("A", "c0-0"): 1})
+        for w in range(1, 25):
+            det.observe(float(w), {("B", "c0-0"): 1})
+        assert ("A", "c0-0") not in det._keys
+        assert ("B", "c0-0") in det._keys
+        assert det.evicted >= 1
+
+    def test_max_keys_cap(self):
+        det = EWMARateDetector(max_keys=3)
+        det.observe(0.0, {(f"T{i}", "c0-0"): 1 for i in range(5)})
+        assert det.tracked_keys == 3
+        assert det.evicted == 2
+
+    def test_state_round_trip(self):
+        det = EWMARateDetector()
+        self._warm(det, 40)
+        state = json.loads(json.dumps(det.state()))
+        clone = EWMARateDetector()
+        clone.load_state(state)
+        assert clone.state() == det.state()
+        # The restored detector behaves identically on the next window.
+        assert ([a.to_record() for a in clone.observe(40.0, {self.KEY: 50})]
+                == [a.to_record() for a in det.observe(40.0, {self.KEY: 50})])
+
+
+class TestSpatialBurstDetector:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return TitanTopology(rows=5, cols=5)  # 25 cabinets
+
+    def _burst_minute(self, det, minute, cabinet="c0-0", per_window=10):
+        for w in range(4):
+            det.observe(minute * 60.0 + w, {("MCE", cabinet): per_window})
+
+    def test_concentrated_burst_alerts(self, topo):
+        det = SpatialBurstDetector(topo)
+        self._burst_minute(det, 0)
+        # The minute closes when the next minute's first window arrives.
+        alerts = det.observe(60.0, {("MCE", "c0-0"): 1})
+        assert len(alerts) == 1
+        a = alerts[0]
+        assert a.detector == "spatial_burst"
+        assert a.key == "c0-0"
+        assert a.score >= det.lift_threshold
+        assert a.evidence["top_types"][0]["type"] == "MCE"
+
+    def test_uniform_traffic_never_alerts(self, topo):
+        det = SpatialBurstDetector(topo)
+        cabinets = [f"c{c}-{r}" for c in range(5) for r in range(5)]
+        for w in range(4):
+            det.observe(float(w), {("MCE", cab): 5 for cab in cabinets})
+        assert det.observe(60.0, {("MCE", "c0-0"): 1}) == []
+
+    def test_below_min_events_never_alerts(self, topo):
+        det = SpatialBurstDetector(topo, min_events=30)
+        det.observe(0.0, {("MCE", "c0-0"): 10})
+        assert det.observe(60.0, {("MCE", "c0-0"): 1}) == []
+
+    def test_cooldown_suppresses_realerts(self, topo):
+        det = SpatialBurstDetector(topo, cooldown_minutes=10)
+        self._burst_minute(det, 0)
+        assert len(det.observe(60.0, {("MCE", "c0-0"): 10})) == 1
+        self._burst_minute(det, 1)
+        assert det.observe(120.0, {("MCE", "c0-0"): 1}) == []
+
+    def test_tiny_topology_cannot_false_positive(self):
+        # 1x2: every neighbourhood is the whole machine, lift ~ 1.
+        det = SpatialBurstDetector(TitanTopology(rows=1, cols=2))
+        self._burst_minute(det, 0, per_window=100)
+        assert det.observe(60.0, {("MCE", "c0-0"): 1}) == []
+
+    def test_state_round_trip(self, topo):
+        det = SpatialBurstDetector(topo)
+        self._burst_minute(det, 0)
+        state = json.loads(json.dumps(det.state()))
+        clone = SpatialBurstDetector(topo)
+        clone.load_state(state)
+        assert clone.state() == det.state()
+        a = det.observe(60.0, {("MCE", "c0-0"): 1})
+        b = clone.observe(60.0, {("MCE", "c0-0"): 1})
+        assert [x.to_record() for x in a] == [x.to_record() for x in b]
+
+
+class TestLustreStormDetector:
+    QUIET = {("LUSTRE_ERR", "c0-0"): 1}
+    STORM = {("LUSTRE_ERR", "c0-0"): 10, ("LUSTRE_ERR", "c1-0"): 10}
+
+    def _warm(self, det, windows=35, start=0):
+        for w in range(start, start + windows):
+            assert det.observe(float(w), self.QUIET) == []
+
+    def test_onset_fires_once_after_sustain(self):
+        det = LustreStormDetector()
+        self._warm(det)
+        assert det.observe(35.0, self.STORM) == []  # sustain run = 1
+        alerts = det.observe(36.0, self.STORM)
+        assert len(alerts) == 1
+        a = alerts[0]
+        assert a.severity == "critical"
+        assert a.detector == "lustre_storm"
+        assert a.key == "filesystem"
+        assert a.evidence["cabinets"] == 2
+        assert a.evidence["dominant_type"] == "LUSTRE_ERR"
+        assert a.evidence["onset"] == 35.0  # start of the sustain run
+        assert det.in_storm
+        # Continuing storm: no re-alert.
+        for w in range(37, 60):
+            assert det.observe(float(w), self.STORM) == []
+        assert det.storms_opened == 1
+
+    def test_single_cabinet_elevation_is_not_a_storm(self):
+        det = LustreStormDetector(min_cabinets=2)
+        self._warm(det)
+        one_cab = {("LUSTRE_ERR", "c0-0"): 50}
+        for w in range(35, 45):
+            assert det.observe(float(w), one_cab) == []
+        assert not det.in_storm
+
+    def test_baseline_frozen_during_storm_then_all_clear(self):
+        det = LustreStormDetector(clear=5)
+        self._warm(det)
+        det.observe(35.0, self.STORM)
+        det.observe(36.0, self.STORM)
+        frozen = det._baseline
+        for w in range(37, 41):
+            det.observe(float(w), self.STORM)
+        assert det._baseline == frozen  # storms must not become "normal"
+        alerts = []
+        w = 41
+        while not alerts:
+            alerts = det.observe(float(w), self.QUIET)
+            w += 1
+        assert alerts[0].severity == "info"
+        assert not det.in_storm
+        # After the all-clear a fresh storm re-alerts.
+        det.observe(float(w), self.STORM)
+        assert len(det.observe(float(w + 1), self.STORM)) == 1
+        assert det.storms_opened == 2
+
+    def test_gap_breaks_sustain_run(self):
+        det = LustreStormDetector()
+        self._warm(det)
+        det.observe(35.0, self.STORM)
+        # A skipped (empty) window between the two elevated ones means
+        # the elevation was not sustained.
+        assert det.observe(40.0, self.STORM) == []
+
+    def test_state_round_trip(self):
+        det = LustreStormDetector()
+        self._warm(det)
+        det.observe(35.0, self.STORM)
+        state = json.loads(json.dumps(det.state()))
+        clone = LustreStormDetector()
+        clone.load_state(state)
+        assert clone.state() == det.state()
+        a = det.observe(36.0, self.STORM)
+        b = clone.observe(36.0, self.STORM)
+        assert len(a) == len(b) == 1
+        assert a[0].to_record() == b[0].to_record()
+
+
+class TestLeadLagDetector:
+    def _run(self, det, windows, a_phase=0, b_phase=2, period=12):
+        alerts = []
+        for w in range(windows):
+            counts = {}
+            if w % period == a_phase:
+                counts[("A", "c0-0")] = 3
+            if w % period == b_phase:
+                counts[("B", "c0-0")] = 2
+            alerts.extend(det.observe(float(w), counts))
+        return alerts
+
+    def test_detects_a_precedes_b(self):
+        det = LeadLagDetector(history=120, max_lag=2, check_every=60,
+                              min_occurrences=5)
+        alerts = self._run(det, 61)
+        assert len(alerts) == 1
+        a = alerts[0]
+        assert a.severity == "info"
+        assert a.key == "A->B"
+        assert a.score >= det.min_corr
+        assert a.evidence["lag_windows"] == 2
+
+    def test_cooldown_silences_repeat_findings(self):
+        det = LeadLagDetector(history=120, max_lag=2, check_every=60,
+                              min_occurrences=5, cooldown_checks=10)
+        alerts = self._run(det, 121)
+        assert len(alerts) == 1  # second check suppressed
+
+    def test_always_on_type_produces_no_signal(self):
+        # B fires every window: "B follows A" carries zero information
+        # (the phi denominator collapses), so no alert.
+        det = LeadLagDetector(history=120, max_lag=2, check_every=60,
+                              min_occurrences=5)
+        alerts = []
+        for w in range(61):
+            counts = {("B", "c0-0"): 1}
+            if w % 12 == 0:
+                counts[("A", "c0-0")] = 3
+            alerts.extend(det.observe(float(w), counts))
+        assert alerts == []
+
+    def test_max_types_cap(self):
+        det = LeadLagDetector(max_types=4)
+        det.observe(0.0, {(f"T{i}", "c0-0"): 1 for i in range(10)})
+        assert det.tracked_keys == 4
+
+    def test_state_round_trip(self):
+        det = LeadLagDetector(history=120, max_lag=2, check_every=60,
+                              min_occurrences=5)
+        self._run(det, 59)
+        state = json.loads(json.dumps(det.state()))
+        clone = LeadLagDetector(history=120, max_lag=2, check_every=60,
+                                min_occurrences=5)
+        clone.load_state(state)
+        assert clone.state() == det.state()
+        # Drive both two more windows (59 skipped, then the check
+        # window) and require identical behaviour from the state.
+        for w in (60.0, 61.0):
+            a = det.observe(w, {("A", "c0-0"): 3})
+            b = clone.observe(w, {("A", "c0-0"): 3})
+            assert [x.to_record() for x in a] == [x.to_record() for x in b]
+        assert clone.state() == det.state()

@@ -272,3 +272,63 @@ class TestJobGenerator:
     def test_invalid_hours(self, topo):
         with pytest.raises(ValueError):
             JobGenerator(topo).generate(0)
+
+
+class TestGroundTruthLabels:
+    """Satellite of the detection PR: per-event injection labels
+    ``(event_index, burst_id, kind)`` for scoring detectors."""
+
+    @pytest.fixture(scope="class")
+    def labelled(self):
+        topo = TitanTopology(rows=1, cols=2)
+        gen = LogGenerator(topo, seed=2017, rate_multiplier=10,
+                           storms_per_day=96.0,
+                           cabinet_burst_rate_per_day=48.0)
+        return gen, gen.generate(1.0)
+
+    def test_labels_present_and_valid(self, labelled):
+        gen, events = labelled
+        labels = gen.ground_truth.labels
+        assert labels
+        kinds = {kind for _, _, kind in labels}
+        assert kinds <= {"storm", "cabinet_burst"}
+        for index, burst_id, _ in labels:
+            assert 0 <= index < len(events)
+            assert burst_id >= 0
+
+    def test_storm_labels_point_at_storm_events(self, labelled):
+        gen, events = labelled
+        storm_labels = [(i, b) for i, b, k in gen.ground_truth.labels
+                        if k == "storm"]
+        assert storm_labels
+        # Exactly the injected storm volume, all LUSTRE_ERR, one
+        # burst_id per StormInfo entry.
+        assert len(storm_labels) == sum(
+            s.num_events for s in gen.ground_truth.storms)
+        assert all(events[i].type == "LUSTRE_ERR" for i, _ in storm_labels)
+        assert {b for _, b in storm_labels} == set(
+            range(len(gen.ground_truth.storms)))
+
+    def test_cabinet_burst_labels(self, labelled):
+        gen, events = labelled
+        burst_labels = [i for i, _, k in gen.ground_truth.labels
+                        if k == "cabinet_burst"]
+        assert burst_labels
+        assert all(events[i].type == "NET_LANE_DEGRADE"
+                   for i in burst_labels)
+
+    def test_labels_deterministic(self, labelled):
+        gen, _ = labelled
+        topo = TitanTopology(rows=1, cols=2)
+        again = LogGenerator(topo, seed=2017, rate_multiplier=10,
+                             storms_per_day=96.0,
+                             cabinet_burst_rate_per_day=48.0)
+        again.generate(1.0)
+        assert again.ground_truth.labels == gen.ground_truth.labels
+
+    def test_no_injection_no_labels(self):
+        topo = TitanTopology(rows=1, cols=1)
+        gen = LogGenerator(topo, seed=3, storms_per_day=0.0,
+                           cabinet_burst_rate_per_day=0.0)
+        gen.generate(1.0)
+        assert gen.ground_truth.labels == []

@@ -113,3 +113,27 @@ class TestWeights:
             hotspot_weights(10, 11, 5.0, rng)
         with pytest.raises(ValueError):
             hotspot_weights(10, 1, 0.5, rng)
+
+
+class TestBurstDeterminism:
+    def test_same_seed_byte_identical(self):
+        args = dict(burst_rate=0.01, events_per_burst=6.0,
+                    burst_duration=120.0, t0=0.0, t1=7200.0)
+        t1, b1 = burst_arrivals(rng=np.random.default_rng(2017), **args)
+        t2, b2 = burst_arrivals(rng=np.random.default_rng(2017), **args)
+        assert t1.tobytes() == t2.tobytes()
+        assert b1.tobytes() == b2.tobytes()
+        assert b1.dtype == np.int64
+
+    def test_different_seed_differs(self):
+        args = dict(burst_rate=0.01, events_per_burst=6.0,
+                    burst_duration=120.0, t0=0.0, t1=7200.0)
+        t1, _ = burst_arrivals(rng=np.random.default_rng(2017), **args)
+        t2, _ = burst_arrivals(rng=np.random.default_rng(2018), **args)
+        assert t1.tobytes() != t2.tobytes()
+
+    def test_burst_ids_contiguous_and_sorted_times(self, rng):
+        times, ids = burst_arrivals(0.02, 8.0, 60.0, 0.0, 3600.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        # ids reference actual trigger indices: dense in [0, max].
+        assert set(np.unique(ids)) <= set(range(int(ids.max()) + 1))

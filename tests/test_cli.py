@@ -214,3 +214,72 @@ class TestSlowJson:
         for entry in entries:
             assert "wall_time" not in entry
             assert "elapsed_ms" not in entry
+
+
+class TestAlerts:
+    ARGS = ["alerts", "--hours", "0.5", "--rows", "1", "--cols", "2",
+            "--seed", "2017"]
+
+    def test_json_round_trip(self, capsys):
+        rc = main(self.ARGS + ["--json"])
+        assert rc == 0
+        result = json.loads(capsys.readouterr().out.strip())
+        assert result["total"] >= 1
+        severities = {a["severity"] for a in result["alerts"]}
+        assert "critical" in severities  # the injected storm was found
+        detectors = {a["detector"] for a in result["alerts"]}
+        assert "lustre_storm" in detectors
+
+    def test_text_tail(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ALERTS" in out
+        assert "CRITICAL" in out
+        assert "lustre_storm" in out
+        assert "storms injected" in out
+
+    def test_severity_filter(self, capsys):
+        rc = main(self.ARGS + ["--json", "--severity", "critical"])
+        assert rc == 0
+        result = json.loads(capsys.readouterr().out.strip())
+        assert result["alerts"]
+        assert all(a["severity"] == "critical" for a in result["alerts"])
+
+    def test_deterministic(self, capsys):
+        outs = []
+        for _ in range(2):
+            assert main(self.ARGS + ["--json"]) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+
+class TestGenerateLabels:
+    def test_labels_sidecar_written(self, tmp_path, capsys):
+        rc = main([
+            "generate", "--rows", "1", "--cols", "2", "--hours", "1",
+            "--rate-multiplier", "10", "--seed", "2017",
+            "--storms-per-day", "48", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        labels = json.loads((tmp_path / "labels.json").read_text())
+        assert labels
+        for entry in labels:
+            assert set(entry) == {"event_index", "burst_id", "kind"}
+            assert entry["kind"] in ("storm", "cabinet_burst")
+
+
+class TestTopDetection:
+    def test_frame_has_ingest_and_alerts(self, capsys):
+        rc = main(["top", "--once", "--json", "--hours", "0.5",
+                   "--rows", "1", "--cols", "2", "--seed", "2017",
+                   "--storms-per-day", "48",
+                   "--storm-events-per-node", "20"])
+        assert rc == 0
+        frame = json.loads(capsys.readouterr().out.strip())
+        assert frame["ingest"]["lag"] == 0
+        assert frame["ingest"]["written"] > 0
+        assert frame["alerts"]["by_severity"].get("critical", 0) >= 1
+        names = {m["name"] for m in frame["metrics"]}
+        assert "detect.windows" in names
+        assert "ingest.stream.lag" in names
