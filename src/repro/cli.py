@@ -9,7 +9,12 @@ paper's workflow without writing Python:
   temporal map, or storm keywords for a time window;
 * ``metrics``  — run a query workload through the analytics server and
   dump the observability picture (metrics snapshot, span tree of the
-  last request, slow-query log) as JSON;
+  last request, slow-query log) as JSON; ``--serve PORT`` keeps a
+  Prometheus ``/metrics`` scrape endpoint up afterwards;
+* ``profile``  — arm the sampling profiler over a planted CPU-bound
+  workload, self-ingest the flame tables through the telemetry loop,
+  and read them back out of ``profiles_by_time`` as folded stacks
+  (flamegraph.pl-compatible) plus a hot-function table;
 * ``top``      — the self-ingestion loop, live: a seeded workload runs
   while its own telemetry streams through the bus into
   ``metrics_by_time``/``spans_by_time``, rendered as a text dashboard
@@ -103,6 +108,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the slow-query log to this file in "
                           "stable form (no wall clock / timings) so two "
                           "runs of the same workload diff clean in CI")
+    met.add_argument("--serve", type=int, default=None, metavar="PORT",
+                     help="after the workload, serve Prometheus text "
+                          "exposition at /metrics on this port "
+                          "(0 = ephemeral) instead of exiting")
+    met.add_argument("--serve-seconds", type=float, default=0.0,
+                     help="with --serve: stop after this many seconds "
+                          "(0 = until interrupted)")
+
+    prof = sub.add_parser(
+        "profile",
+        help="sample a planted CPU-bound workload, self-ingest the "
+             "flame tables, read them back from profiles_by_time")
+    add_machine_args(prof)
+    prof.add_argument("--hz", type=float, default=50.0,
+                      help="sampling rate (wall-clock samples/second)")
+    prof.add_argument("--seconds", type=float, default=1.0,
+                      help="planted workload duration")
+    prof.add_argument("--top", type=int, default=10,
+                      help="hot-function table size")
+    prof.add_argument("--component", default=None,
+                      help="restrict output to one component "
+                           "(server/cql/cassdb/sparklet/bus/ingest/detect)")
+    prof.add_argument("--once", action="store_true",
+                      help="accepted for symmetry with `top` (profile "
+                           "always runs one cycle)")
+    prof.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full profile_flame payload as JSON")
+    prof.add_argument("--stable-json", dest="stable_json", default=None,
+                      help="also write a deterministic summary (top hot "
+                           "function of the planted workload) to this "
+                           "file so two runs byte-diff clean in CI")
 
     top = sub.add_parser(
         "top",
@@ -333,6 +369,104 @@ def _cmd_metrics(args) -> int:
         with open(args.slow_json, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(stable["result"], indent=2,
                                 sort_keys=True) + "\n")
+    if args.serve is not None:
+        import time as _time
+
+        from repro.obs.export import MetricsHTTPServer
+
+        scrape = MetricsHTTPServer(server.registry, port=args.serve).start()
+        print(f"serving /metrics on http://127.0.0.1:{scrape.port}/metrics",
+              flush=True)
+        try:
+            if args.serve_seconds > 0:
+                _time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    _time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
+        scrape.stop()
+    fw.stop()
+    return 0
+
+
+def _burn_cpu(seconds: float) -> int:
+    """The planted hot function: pure-Python arithmetic the sampler must
+    attribute — its frame is the known answer ``repro profile`` checks
+    after the flame tables round-trip through ``profiles_by_time``."""
+    import time as _time
+
+    end = _time.perf_counter() + seconds
+    acc = 0
+    while _time.perf_counter() < end:
+        for i in range(2048):
+            acc += i * i
+    return acc
+
+
+def _cmd_profile(args) -> int:
+    """Arm the sampler over a planted workload, push the flame-table
+    deltas through the self-ingestion loop, and report what came back
+    out of ``profiles_by_time`` — the read path is the proof."""
+    import time as _time
+
+    from repro import obs
+    from repro.bus import MessageBus
+    from repro.core import AnalyticsServer
+    from repro.obs.profile import SamplingProfiler
+
+    topo = TitanTopology(rows=args.rows, cols=args.cols)
+    fw = LogAnalyticsFramework(topo, db_nodes=4).setup(load_nodeinfos=False)
+    bus = MessageBus()
+    server = AnalyticsServer(fw)
+    profiler = SamplingProfiler(hz=args.hz)
+    pipeline = fw.telemetry_pipeline(bus, profiler=profiler)
+    tracer = obs.get_tracer()
+    t_start = _time.time()
+    with profiler:
+        with tracer.root_span("server.profile_workload"):
+            _burn_cpu(args.seconds)
+    pipeline.run_once(force=True)
+    window = {"t0": t_start - 120.0, "t1": _time.time() + 120.0}
+    request = {"op": "profile_flame", "top": args.top, **window}
+    if args.component:
+        request["component"] = args.component
+    response = server.handle_sync(request)
+    if not response["ok"]:
+        print(f"profile_flame failed: {response['error']}", file=sys.stderr)
+        fw.stop()
+        return 1
+    result = response["result"]
+    if args.as_json:
+        print(json.dumps({
+            "hz": args.hz, "seconds": args.seconds,
+            "samples": result["samples"], "stacks": result["stacks"],
+            "dropped_frames": profiler.dropped_frames,
+            "folded": result["folded"], "hot": result["hot"],
+        }))
+    else:
+        for line in result["folded"]:
+            print(line)
+        print(f"\n{result['samples']} samples, {result['stacks']} stacks "
+              f"@ {args.hz:g} Hz  (dropped {profiler.dropped_frames})")
+        print(f"{'HOT FUNCTION':<56} {'SAMPLES':>8}")
+        for entry in result["hot"]:
+            print(f"{entry['function']:<56} {entry['samples']:>8}")
+    if args.stable_json:
+        # The planted workload dominates the "server" component, so its
+        # top hot frame is the same function every run — a byte-stable
+        # witness that sampling, attribution and the round trip work.
+        stable = server.handle_sync({
+            "op": "profile_flame", "component": "server", "top": 1,
+            **window})["result"]
+        hot = stable["hot"]
+        with open(args.stable_json, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "hot_function": hot[0]["function"] if hot else None,
+                "planted_found": any(
+                    h["function"].endswith("_burn_cpu") for h in hot),
+                "sampled": stable["samples"] > 0,
+            }, indent=2, sort_keys=True) + "\n")
     fw.stop()
     return 0
 
@@ -428,8 +562,16 @@ def _render_top_frame(frame: dict) -> str:
         f"server: {health['server']['requests_served']} requests, "
         f"{health['server']['errors']} errors   "
         f"telemetry rows: {frame['telemetry']['metrics_rows']} metric, "
-        f"{frame['telemetry']['spans_rows']} span",
+        f"{frame['telemetry']['spans_rows']} span, "
+        f"{frame['telemetry'].get('profiles_rows', 0)} profile",
     ]
+    prof = frame.get("profile")
+    if prof is not None:
+        hot = ", ".join(
+            f"{h['function'].rsplit('.', 1)[-1]} ({h['samples']})"
+            for h in prof["hot"][:3]) or "(no samples yet)"
+        lines.append(f"profile: {prof['samples']:g} wall-clock samples   "
+                     f"hot: {hot}")
     sched = frame.get("scheduler")
     if sched:
         lines.append(
@@ -491,6 +633,13 @@ def _cmd_top(args) -> int:
     topo = TitanTopology(rows=args.rows, cols=args.cols)
     fw = LogAnalyticsFramework(topo, db_nodes=4).setup()
     bus = MessageBus()
+    # The continuous profiler rides the same loop: armed before the
+    # ingest so the streaming workload itself is sampled, its flame
+    # tables land in profiles_by_time and the dashboard's hotspots
+    # line reads them back like everything else.
+    from repro.obs.profile import SamplingProfiler
+
+    profiler = SamplingProfiler().start()
     # The workload arrives the way production events would: published
     # to the bus, streamed through 1 s micro-batches into the model,
     # with the detection workload watching the same windows.
@@ -503,7 +652,8 @@ def _cmd_top(args) -> int:
         .generate(args.hours))
     slow_log = obs.SlowQueryLog(threshold_ms=0.0, capacity=64)
     server = AnalyticsServer(fw, slow_log=slow_log)
-    pipeline = fw.telemetry_pipeline(bus, interval_s=args.interval)
+    pipeline = fw.telemetry_pipeline(bus, interval_s=args.interval,
+                                     profiler=profiler)
     data_t1 = _data_horizon(fw, 0.0)
     ctx = fw.context(0.0, data_t1).to_json()
     workload = [{"op": "heatmap", "context": ctx},
@@ -578,12 +728,16 @@ def _cmd_top(args) -> int:
         alerts = (await server.handle(
             {"op": "alert_summary", "t0": 0.0, "t1": data_t1 + 120.0}
         ))["result"]
+        flame = (await server.handle(
+            {"op": "profile_flame", "t0": t0, "t1": t1, "top": 3}
+        ))["result"]
         return {
             "frame": n,
             "health": health,
             "scheduler": scheduler,
             "ingest": ingest,
             "alerts": alerts,
+            "profile": {"samples": flame["samples"], "hot": flame["hot"]},
             "telemetry": dict(stats, metrics_table_rows=table_rows),
             "metrics": metrics,
             "slowest": [
@@ -611,6 +765,7 @@ def _cmd_top(args) -> int:
             _time.sleep(args.interval)
     except KeyboardInterrupt:
         pass
+    profiler.stop()
     fw.stop()
     return 0
 
@@ -684,6 +839,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "analyze": _cmd_analyze,
     "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
     "top": _cmd_top,
     "alerts": _cmd_alerts,
     "topology": _cmd_topology,

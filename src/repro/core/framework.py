@@ -171,10 +171,13 @@ class LogAnalyticsFramework:
     def telemetry_pipeline(self, bus, *, topic: str | None = None,
                            interval_s: float = 1.0,
                            registry=None, tracer=None,
-                           group_id: str = "telemetry-ingest"):
-        """Attach the self-ingestion loop: this framework's own metrics
-        and spans exported to *bus* and streamed back into its cluster
-        (``metrics_by_time`` / ``spans_by_time``)."""
+                           group_id: str = "telemetry-ingest",
+                           profiler=None):
+        """Attach the self-ingestion loop: this framework's own metrics,
+        spans — and, when a :class:`~repro.obs.profile.SamplingProfiler`
+        is passed, flame-table sample deltas — exported to *bus* and
+        streamed back into its cluster (``metrics_by_time`` /
+        ``spans_by_time`` / ``profiles_by_time``)."""
         from repro.obs.export import TELEMETRY_TOPIC, TelemetryPipeline
 
         self._check_ready()
@@ -183,6 +186,7 @@ class LogAnalyticsFramework:
             registry=registry, tracer=tracer,
             topic=TELEMETRY_TOPIC if topic is None else topic,
             interval_s=interval_s, group_id=group_id,
+            profiler=profiler,
         )
 
     def attach_detection(self, ingestor: StreamingIngestor, bus, *,

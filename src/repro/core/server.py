@@ -51,7 +51,7 @@ SIMPLE_OPS = frozenset({
     "ping", "event_types", "nodeinfo", "events", "runs", "synopsis", "cql",
     "explain", "metrics", "trace", "slow_queries",
     "telemetry_series", "telemetry_spans", "health",
-    "alerts", "alert_summary",
+    "alerts", "alert_summary", "profile_flame", "critical_path",
 })
 COMPLEX_OPS = frozenset({
     "heatmap", "heatmap_grid", "distribution", "distribution_by_application",
@@ -140,7 +140,8 @@ class AnalyticsServer:
             out.setdefault(op, []).extend(hist.recent())
         return out
 
-    def _observe(self, op: str, outcome: str, elapsed_ms: float) -> None:
+    def _observe(self, op: str, outcome: str, elapsed_ms: float,
+                 trace_id: int | None = None) -> None:
         key = (op, outcome)
         hist = self._op_hists.get(key)
         if hist is None:
@@ -150,8 +151,8 @@ class AnalyticsServer:
                 "server.latency_ms", window=self._latency_window,
                 op=op, outcome=outcome,
             )
-        hist.observe(elapsed_ms)
-        self._registry_hists[key].observe(elapsed_ms)
+        hist.observe(elapsed_ms, trace_id=trace_id)
+        self._registry_hists[key].observe(elapsed_ms, trace_id=trace_id)
 
     # -- request entry points ------------------------------------------------
 
@@ -207,8 +208,13 @@ class AnalyticsServer:
         response["elapsed_ms"] = elapsed
         self.requests_served += 1
         self._m_requests.inc()
-        self._observe(op_name, outcome, elapsed)
-        self.slow_log.record(op_name, elapsed, outcome=outcome)
+        # Stamp the request's trace onto its latency observation (the
+        # histogram exemplar) and its slow-log entry, so a latency spike
+        # or a slow-query row joins against spans_by_time in one hop.
+        trace_id = getattr(span, "trace_id", 0) or None
+        self._observe(op_name, outcome, elapsed, trace_id=trace_id)
+        self.slow_log.record(op_name, elapsed, outcome=outcome,
+                             trace_id=trace_id)
         return response
 
     def handle_sync(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -324,14 +330,15 @@ class AnalyticsServer:
         return trace
 
     def _op_slow_queries(self, request):
-        """The slow-query ring; ``stable: true`` strips the wall-clock
-        and timing fields so two dumps of the same deterministic
-        workload diff clean in CI."""
+        """The slow-query ring; ``stable: true`` strips the wall-clock,
+        timing and trace-id fields (trace ids are process-global
+        counters) so two dumps of the same deterministic workload diff
+        clean in CI."""
         entries = self.slow_log.entries()
         if request.get("stable"):
             entries = [
                 {k: v for k, v in e.items()
-                 if k not in ("wall_time", "elapsed_ms")}
+                 if k not in ("wall_time", "elapsed_ms", "trace_id")}
                 for e in entries
             ]
         return entries
@@ -388,6 +395,10 @@ class AnalyticsServer:
                                       "labels")}
                 if labels:
                     point["labels"] = labels
+                if point.get("exemplars"):
+                    # Stored JSON-encoded; surface as structured objects
+                    # so dashboards can link straight to the trace.
+                    point["exemplars"] = json.loads(point["exemplars"])
                 points.append(point)
         points.sort(key=lambda p: (p["ts"], p.get("seq", 0)))
         return {"name": name, "t0": t0, "t1": t1, "points": points}
@@ -434,6 +445,112 @@ class AnalyticsServer:
         roots.sort(key=lambda n: -n["duration_ms"])
         return {"t0": t0, "t1": t1, "spans": len(by_id),
                 "trees": roots[:limit]}
+
+    def _op_profile_flame(self, request):
+        """Windowed flame data from ``profiles_by_time``: folded stacks
+        (flamegraph.pl-compatible, component-rooted) plus the top hot
+        functions by exclusive samples — one partition read per
+        (minute, component), the event-table read path verbatim."""
+        from repro.obs.profile import hot_functions
+
+        t0, t1 = self._telemetry_window(request)
+        component = request.get("component")
+        top = int(request.get("top", 10))
+        self._require_telemetry_table("profiles_by_time")
+        cluster = self.framework.cluster
+        minutes = range(int(t0 // 60), int((t1 - 1e-9) // 60) + 1)
+        if component:
+            partitions = [(minute, component) for minute in minutes]
+        else:
+            schema = cluster.schema("profiles_by_time")
+            wanted = set(minutes)
+            partitions = sorted(
+                (values["minute_bucket"], values["component"])
+                for values in (
+                    schema.partition_values_from_key(pk)
+                    for pk in cluster.partition_keys("profiles_by_time")
+                )
+                if values["minute_bucket"] in wanted
+            )
+        by_stack: dict[tuple[str, str], int] = {}
+        for rows in cluster.select_partitions("profiles_by_time",
+                                              partitions):
+            for row in rows:
+                if not t0 <= row["ts"] < t1:
+                    continue
+                key = (row["component"], row["stack"])
+                by_stack[key] = by_stack.get(key, 0) + row["samples"]
+        folded = sorted(
+            f"{comp};{stack} {count}"
+            for (comp, stack), count in by_stack.items()
+        )
+        return {
+            "t0": t0, "t1": t1,
+            "samples": sum(by_stack.values()),
+            "stacks": len(by_stack),
+            "folded": folded,
+            "hot": hot_functions(by_stack, top=top),
+        }
+
+    def _op_critical_path(self, request):
+        """Per-component exclusive-time attribution for one request.
+
+        Finds the trace — by ``trace_id`` in the tracer's ring, the
+        most recent one when omitted, or reconstructed from
+        ``spans_by_time`` rows when it has aged out of the ring — and
+        runs :func:`repro.obs.profile.critical_path` over its tree."""
+        from repro.obs.profile import critical_path
+
+        trace_id = request.get("trace_id")
+        if trace_id is None:
+            trace = self.tracer.last_trace()
+            if trace is None:
+                raise LookupError("no completed traces yet")
+            return critical_path(trace)
+        trace_id = int(trace_id)
+        for trace in reversed(self.tracer.traces()):
+            if trace.get("trace_id") == trace_id:
+                return critical_path(trace)
+        # Aged out of the in-process ring: rebuild the tree from the
+        # self-ingested span rows (the same reconstruction
+        # telemetry_spans does, filtered to one trace).
+        tree = self._trace_from_store(request, trace_id)
+        if tree is None:
+            raise LookupError(f"trace {trace_id} not found")
+        return critical_path(tree)
+
+    def _trace_from_store(self, request, trace_id: int):
+        self._require_telemetry_table("spans_by_time")
+        t0, t1 = self._telemetry_window(request)
+        cluster = self.framework.cluster
+        schema = cluster.schema("spans_by_time")
+        wanted = set(range(int(t0 // 60), int((t1 - 1e-9) // 60) + 1))
+        partitions = sorted(
+            (values["minute_bucket"], values["component"])
+            for values in (
+                schema.partition_values_from_key(pk)
+                for pk in cluster.partition_keys("spans_by_time")
+            )
+            if values["minute_bucket"] in wanted
+        )
+        by_id: dict[int, dict] = {}
+        for rows in cluster.select_partitions("spans_by_time", partitions):
+            for row in rows:
+                if row.get("trace_id") != trace_id:
+                    continue
+                node = {k: v for k, v in row.items() if k != "minute_bucket"}
+                node["children"] = []
+                by_id[node["span_id"]] = node
+        root = None
+        for node in by_id.values():
+            parent = by_id.get(node.get("parent_id"))
+            if parent is not None:
+                parent["children"].append(node)
+            elif root is None or node["duration_ms"] > root["duration_ms"]:
+                root = node
+        for node in by_id.values():
+            node["children"].sort(key=lambda n: (n["ts"], n["span_id"]))
+        return root
 
     # -- detection alerts (repro.detect) --------------------------------------
 

@@ -62,6 +62,7 @@ __all__ = [
     "render_prometheus",
     "iter_spans",
     "render_spans_jsonl",
+    "MetricsHTTPServer",
     "TelemetrySnapshotter",
     "TelemetryPublisher",
     "TelemetryIngestor",
@@ -94,11 +95,19 @@ TELEMETRY_SCHEMAS: dict[str, TableSchema] = {
         description="Self-ingested trace spans: partition "
                     "(minute_bucket, component)",
     ),
+    "profiles_by_time": TableSchema(
+        "profiles_by_time",
+        partition_key=("minute_bucket", "component"),
+        clustering_key=("ts", "seq"),
+        key_codecs=(("minute_bucket", int),),
+        description="Self-ingested profiler flame-table deltas: "
+                    "partition (minute_bucket, component)",
+    ),
 }
 
 
 def ensure_telemetry_tables(cluster: "Cluster") -> None:
-    """Create the two telemetry tables if absent (idempotent)."""
+    """Create the telemetry tables if absent (idempotent)."""
     for schema in TELEMETRY_SCHEMAS.values():
         try:
             cluster.create_table(schema)
@@ -183,13 +192,24 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         else:  # histogram
             lines.append(f"# TYPE {pname} histogram")
             for labels, snap in series:
+                exemplars = {e["bucket"]: e
+                             for e in snap.get("exemplars", ())}
                 cumulative = 0
                 for bound, count in snap["buckets"].items():
                     cumulative += count
                     le = _render_labels(labels, ("le", bound
                                                  if bound == "+Inf"
                                                  else _fmt(float(bound))))
-                    lines.append(f"{pname}_bucket{le} {cumulative}")
+                    line = f"{pname}_bucket{le} {cumulative}"
+                    exemplar = exemplars.get(bound)
+                    if exemplar is not None:
+                        # OpenMetrics-style exemplar: the slow
+                        # observation's trace_id rides the bucket line,
+                        # so a latency spike links to a concrete trace.
+                        line += (f' # {{trace_id="{exemplar["trace_id"]}"}}'
+                                 f' {_fmt(exemplar["value"])}'
+                                 f' {exemplar["ts"]:.3f}')
+                    lines.append(line)
                 rendered = _render_labels(labels)
                 lines.append(f"{pname}_sum{rendered} {_fmt(snap['sum'])}")
                 lines.append(f"{pname}_count{rendered} {snap['count']}")
@@ -265,23 +285,27 @@ class TelemetrySnapshotter:
 
     *Delta* discipline: each export cycle emits only what changed since
     the previous one — counter increments, gauge movements, histogram
-    count/sum deltas (with the current window percentiles attached) and
-    traces completed since the last cycle.  Two consecutive cycles with
-    no activity in between therefore emit nothing the second time
-    (idempotence), and re-ingesting an export never double-counts.
+    count/sum deltas (with the current window percentiles and any
+    exemplars attached), flame-table sample deltas from an attached
+    :class:`~repro.obs.profile.SamplingProfiler`, and traces completed
+    since the last cycle.  Two consecutive cycles with no activity in
+    between therefore emit nothing the second time (idempotence), and
+    re-ingesting an export never double-counts.
     """
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  tracer: Tracer | None = None, *,
-                 interval_s: float = 1.0):
+                 interval_s: float = 1.0, profiler=None):
         from repro import obs  # late: keep module import light
 
         self.registry = registry if registry is not None else obs.get_registry()
         self.tracer = tracer if tracer is not None else obs.get_tracer()
+        self.profiler = profiler
         self.interval_s = interval_s
         self.exports = 0
         self._last_export: float | None = None
         self._last_counts: dict[str, Any] = {}
+        self._last_profile: dict[tuple[str, str], int] = {}
         self._last_trace_id = 0
 
     @staticmethod
@@ -323,7 +347,7 @@ class TelemetrySnapshotter:
                 delta = snap["count"] - last_count
                 if delta:
                     self._last_counts[sid] = (snap["count"], snap["sum"])
-                    metric_records.append({
+                    record = {
                         "rtype": "metric", "kind": "histogram", "name": name,
                         "labels": labels, "ts": now,
                         "count": snap["count"], "sum": snap["sum"],
@@ -331,7 +355,22 @@ class TelemetrySnapshotter:
                         "delta_sum": snap["sum"] - last_sum,
                         "p50": snap["p50"], "p95": snap["p95"],
                         "p99": snap["p99"],
-                    })
+                    }
+                    if snap.get("exemplars"):
+                        record["exemplars"] = snap["exemplars"]
+                    metric_records.append(record)
+        if self.profiler is not None:
+            for component, stacks in self.profiler.tables().items():
+                for stack, count in stacks.items():
+                    key = (component, stack)
+                    last = self._last_profile.get(key, 0)
+                    if count != last:
+                        self._last_profile[key] = count
+                        metric_records.append({
+                            "rtype": "profile", "component": component,
+                            "stack": stack, "ts": now,
+                            "samples": count - last, "total": count,
+                        })
         span_records: list[dict[str, Any]] = []
         newest = self._last_trace_id
         for trace in self.tracer.traces():
@@ -379,7 +418,10 @@ class TelemetryPublisher:
                 span_records: Iterable[Mapping[str, Any]] = ()) -> int:
         n = 0
         for record in metric_records:
-            self._producer.send(dict(record), key=record["name"],
+            # Profile records ride the metric stream but carry no
+            # metric name; their component keys them instead.
+            key = record.get("name") or record["component"]
+            self._producer.send(dict(record), key=key,
                                 timestamp=record["ts"])
             n += 1
         for record in span_records:
@@ -413,6 +455,7 @@ class TelemetryIngestor:
         self.cluster = cluster
         self.metrics_rows = 0
         self.spans_rows = 0
+        self.profiles_rows = 0
         self._seq = itertools.count()
         # Logical-clock epoch: record timestamps are wall clock (~1.7e9
         # s) but the streaming clock starts at batch 0 and advances one
@@ -430,17 +473,21 @@ class TelemetryIngestor:
         records = rdd.collect()
         metric_rows: list[dict[str, Any]] = []
         span_rows: list[dict[str, Any]] = []
+        profile_rows: list[dict[str, Any]] = []
         for record in records:
             rtype = record.get("rtype")
             if rtype == "metric":
                 row = {k: v for k, v in record.items()
-                       if k not in ("rtype", "labels", "name")}
+                       if k not in ("rtype", "labels", "name", "exemplars")}
                 row["minute_bucket"] = int(record["ts"] // MINUTE)
                 row["metric_name"] = record["name"]
                 row["seq"] = next(self._seq)
                 if record.get("labels"):
                     row["labels"] = json.dumps(record["labels"],
                                                sort_keys=True)
+                if record.get("exemplars"):
+                    row["exemplars"] = json.dumps(record["exemplars"],
+                                                  sort_keys=True)
                 metric_rows.append(row)
             elif rtype == "span":
                 row = {k: v for k, v in record.items()
@@ -450,12 +497,20 @@ class TelemetryIngestor:
                     row["attrs"] = json.dumps(record["attrs"], sort_keys=True,
                                               default=str)
                 span_rows.append(row)
+            elif rtype == "profile":
+                row = {k: v for k, v in record.items() if k != "rtype"}
+                row["minute_bucket"] = int(record["ts"] // MINUTE)
+                row["seq"] = next(self._seq)
+                profile_rows.append(row)
         if metric_rows:
             self.metrics_rows += self.cluster.write_batch(
                 "metrics_by_time", metric_rows)
         if span_rows:
             self.spans_rows += self.cluster.write_batch(
                 "spans_by_time", span_rows)
+        if profile_rows:
+            self.profiles_rows += self.cluster.write_batch(
+                "profiles_by_time", profile_rows)
 
     def process_available(self, max_records: int = 100_000) -> int:
         """Poll, run complete batches, commit; returns records polled."""
@@ -499,9 +554,10 @@ class TelemetryPipeline:
                  tracer: Tracer | None = None,
                  topic: str = TELEMETRY_TOPIC,
                  interval_s: float = 1.0,
-                 group_id: str = "telemetry-ingest"):
+                 group_id: str = "telemetry-ingest",
+                 profiler=None):
         self.snapshotter = TelemetrySnapshotter(
-            registry, tracer, interval_s=interval_s)
+            registry, tracer, interval_s=interval_s, profiler=profiler)
         self.publisher = TelemetryPublisher(bus, topic)
         self.ingestor = TelemetryIngestor(
             bus, topic, cluster, sc,
@@ -528,4 +584,90 @@ class TelemetryPipeline:
             "ingested": polled,
             "metrics_rows": self.ingestor.metrics_rows,
             "spans_rows": self.ingestor.spans_rows,
+            "profiles_rows": self.ingestor.profiles_rows,
         }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus scrape endpoint
+# ---------------------------------------------------------------------------
+
+class MetricsHTTPServer:
+    """Minimal stdlib scrape endpoint: ``GET /metrics`` renders the
+    registry in Prometheus text exposition format.
+
+    Serves from a daemon thread so arming it costs the caller nothing;
+    ``port=0`` binds an ephemeral port (the bound port is readable via
+    :attr:`port` after :meth:`start`).  Anything but ``/metrics`` is a
+    404 — this is a scrape target, not a web server.
+    """
+
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self, registry: MetricsRegistry | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        from repro import obs  # late: keep module import light
+
+        self.registry = (registry if registry is not None
+                         else obs.get_registry())
+        self._host = host
+        self._port = port
+        self._httpd = None
+        self._thread = None
+        self.scrapes = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    def start(self) -> "MetricsHTTPServer":
+        """Bind and serve from a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        import http.server
+        import threading
+
+        server = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served")
+                    return
+                body = render_prometheus(server.registry).encode("utf-8")
+                server.scrapes += 1
+                self.send_response(200)
+                self.send_header("Content-Type", server.CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # quiet: no stderr spam
+                return None
+
+        self._httpd = http.server.ThreadingHTTPServer(
+            (self._host, self._port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-metrics-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

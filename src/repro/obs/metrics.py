@@ -27,6 +27,7 @@ from __future__ import annotations
 import bisect
 import math
 import threading
+import time
 from collections import deque
 from typing import Any, Mapping
 
@@ -112,10 +113,16 @@ class Histogram:
     the window gives exact percentiles over the most recent *window*
     observations (the compromise the F3 bench relies on: per-op
     latencies stay readable without per-request growth).
+
+    **Exemplars** (OpenMetrics model): an observation made inside a
+    traced request may carry its ``trace_id``; the histogram keeps the
+    latest exemplar *per bucket* — O(len(buckets)) memory — so a spike
+    in a high bucket links straight to a concrete trace instead of an
+    anonymous count.
     """
 
     __slots__ = ("_lock", "_bounds", "_bucket_counts", "_count", "_sum",
-                 "_min", "_max", "_recent")
+                 "_min", "_max", "_recent", "_exemplars")
 
     def __init__(self, buckets: tuple[float, ...] | None = None,
                  window: int = 512):
@@ -130,10 +137,14 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
         self._recent: deque[float] = deque(maxlen=window)
+        # bucket index -> (value, trace_id, wall_ts); bounded by the
+        # bucket count, latest observation wins within a bucket.
+        self._exemplars: dict[int, tuple[float, int, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, trace_id: int | None = None) -> None:
         with self._lock:
-            self._bucket_counts[bisect.bisect_left(self._bounds, value)] += 1
+            idx = bisect.bisect_left(self._bounds, value)
+            self._bucket_counts[idx] += 1
             self._count += 1
             self._sum += value
             if value < self._min:
@@ -141,6 +152,20 @@ class Histogram:
             if value > self._max:
                 self._max = value
             self._recent.append(value)
+            if trace_id:
+                self._exemplars[idx] = (value, trace_id, time.time())
+
+    def exemplars(self) -> list[dict[str, Any]]:
+        """Latest exemplar per bucket, ascending by bucket bound."""
+        with self._lock:
+            items = sorted(self._exemplars.items())
+        out = []
+        for idx, (value, trace_id, ts) in items:
+            bound = ("+Inf" if idx >= len(self._bounds)
+                     else str(self._bounds[idx]))
+            out.append({"bucket": bound, "value": value,
+                        "trace_id": trace_id, "ts": ts})
+        return out
 
     @property
     def count(self) -> int:
@@ -174,6 +199,7 @@ class Histogram:
             self._min = math.inf
             self._max = -math.inf
             self._recent.clear()
+            self._exemplars.clear()
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -183,7 +209,8 @@ class Histogram:
             count, total = self._count, self._sum
             lo = self._min if count else 0.0
             hi = self._max if count else 0.0
-        return {
+            has_exemplars = bool(self._exemplars)
+        out = {
             "type": "histogram",
             "count": count,
             "sum": total,
@@ -194,6 +221,9 @@ class Histogram:
             "p99": self.percentile(99),
             "buckets": buckets,
         }
+        if has_exemplars:
+            out["exemplars"] = self.exemplars()
+        return out
 
 
 def _series_key(name: str, labels: Mapping[str, Any]) -> str:

@@ -1,0 +1,330 @@
+"""Always-on sampling wall-clock profiler: *where does the time go?*
+
+The paper's thesis is that a system at extreme scale must explain where
+time goes, not merely count events.  Metrics (PR 1) count; traces
+(PR 5) time individual requests; this module closes the remaining gap
+— **which code is hot right now?** — with the standard low-overhead
+answer: a dedicated sampler thread walks ``sys._current_frames()`` at
+a configurable rate (default 50 Hz), folds each thread's Python stack
+into a flamegraph-style ``root;...;leaf`` string, and accumulates
+counts in bounded per-component flame tables.
+
+Attribution rides the existing :class:`~repro.obs.trace.Tracer`: spans
+register themselves per thread on entry (``Tracer.thread_components``),
+so every sample lands under the Fig-3 layer that was executing —
+server / cql / cassdb / sparklet / bus / ingest / detect — and threads
+outside any trace fold under :data:`IDLE_COMPONENT`.
+
+Cost and boundedness discipline (the MetricsRegistry rules):
+
+* sampling cost is independent of request volume — one
+  ``sys._current_frames()`` call plus cached per-code-object name
+  lookups per tick, whatever the load;
+* flame tables are cardinality-capped (*max_components* components,
+  *max_stacks_per_component* distinct stacks each); overflow folds
+  into an ``(overflow)`` bucket and increments the
+  ``obs.profile.dropped_frames`` counter — bounded memory, visible
+  loss, conserved sample totals;
+* ``folded()`` output is deterministic given the recorded samples
+  (sorted lines, flamegraph.pl-compatible ``stack count`` form).
+
+:func:`critical_path` is the per-request counterpart: given one
+exported span tree it computes per-component **exclusive** time (a
+span's duration minus its children's), so "for this slow request,
+which component dominated?" is one function call over PR 5 data.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from types import CodeType, FrameType
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "IDLE_COMPONENT",
+    "OVERFLOW_KEY",
+    "SamplingProfiler",
+    "component_of",
+    "critical_path",
+    "hot_functions",
+]
+
+#: Component assigned to samples of threads with no active span.
+IDLE_COMPONENT = "idle"
+
+#: Reserved flame-table key absorbing samples past the cardinality cap.
+OVERFLOW_KEY = "(overflow)"
+
+
+def component_of(span_name: str) -> str:
+    """The Fig-3 layer a span belongs to: its dotted-name prefix
+    (``cassdb.node.read`` → ``cassdb``)."""
+    return span_name.split(".", 1)[0]
+
+
+class SamplingProfiler:
+    """Low-overhead wall-clock sampler over ``sys._current_frames()``.
+
+    ``start()`` spawns a daemon sampler thread ticking at *hz*;
+    ``sample_once()`` is the same walk taken synchronously (tests,
+    deterministic workloads).  ``record()`` is the fold primitive both
+    use — public so boundedness tests can drive synthetic load without
+    timing dependence.
+    """
+
+    def __init__(self, *, hz: float = 50.0, tracer=None, registry=None,
+                 max_components: int = 16,
+                 max_stacks_per_component: int = 512,
+                 max_depth: int = 64):
+        if hz <= 0:
+            raise ValueError("sampling rate must be positive")
+        from repro import obs  # late: keep module import light
+
+        self.hz = hz
+        self.max_components = max_components
+        self.max_stacks_per_component = max_stacks_per_component
+        self.max_depth = max_depth
+        self.tracer = tracer if tracer is not None else obs.get_tracer()
+        self.registry = (registry if registry is not None
+                         else obs.get_registry())
+        self._m_samples = self.registry.counter("obs.profile.samples")
+        self._m_dropped = self.registry.counter("obs.profile.dropped_frames")
+        self._lock = threading.Lock()
+        # component -> folded stack -> cumulative sample count
+        self._tables: dict[str, dict[str, int]] = {}
+        # code object -> rendered "module.qualname" (bounded cache; code
+        # objects are hashable and long-lived, so keying by them is both
+        # correct and GC-friendly enough at this cap).
+        self._code_names: dict[CodeType, str] = {}
+        self.samples = 0
+        self.dropped_frames = 0
+        self._thread: threading.Thread | None = None
+        self._sampler_tid: int | None = None
+        self._stop = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Arm the sampler thread (idempotent)."""
+        if self.armed:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Disarm; waits for the sampler thread to exit."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+        self._thread = None
+        self._sampler_tid = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        self._sampler_tid = threading.get_ident()
+        period = 1.0 / self.hz
+        while not self._stop.wait(period):
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - sampling must not kill
+                pass
+
+    # -- sampling --------------------------------------------------------
+
+    def _frame_name(self, code: CodeType, frame: FrameType) -> str:
+        name = self._code_names.get(code)
+        if name is None:
+            module = frame.f_globals.get("__name__", "?")
+            name = f"{module}.{code.co_qualname}"
+            if len(self._code_names) >= 4096:  # bounded cache
+                self._code_names.clear()
+            self._code_names[code] = name
+        return name
+
+    def _fold(self, frame: FrameType | None) -> str:
+        parts: list[str] = []
+        while frame is not None:
+            parts.append(self._frame_name(frame.f_code, frame))
+            frame = frame.f_back
+        parts.reverse()  # root first, leaf last (flamegraph order)
+        if len(parts) > self.max_depth:  # keep the leaf side: it names
+            parts = ["(truncated)"] + parts[-self.max_depth:]  # the hot code
+        return ";".join(parts)
+
+    def sample_once(self) -> int:
+        """Walk every thread's stack once; returns samples recorded."""
+        components = self.tracer.thread_components()
+        frames = sys._current_frames()
+        recorded = 0
+        for tid, frame in frames.items():
+            if tid == self._sampler_tid:
+                continue
+            self.record(components.get(tid, IDLE_COMPONENT),
+                        self._fold(frame))
+            recorded += 1
+        return recorded
+
+    def record(self, component: str, folded: str, n: int = 1) -> bool:
+        """Fold *n* samples of one stack into a component's flame table.
+
+        Returns False when a cardinality cap redirected the samples
+        into an ``(overflow)`` bucket (they are still counted there —
+        totals are conserved — and ``obs.profile.dropped_frames``
+        ticks once per redirected call).
+        """
+        with self._lock:
+            table = self._tables.get(component)
+            if table is None:
+                # The cap counts the (overflow) table itself: one slot
+                # stays reserved for it so the map never exceeds
+                # max_components entries.
+                limit = self.max_components - 1 + (
+                    OVERFLOW_KEY in self._tables)
+                if len(self._tables) >= limit:
+                    self.dropped_frames += n
+                    self._m_dropped.inc(n)
+                    table = self._tables.setdefault(OVERFLOW_KEY, {})
+                    table[OVERFLOW_KEY] = table.get(OVERFLOW_KEY, 0) + n
+                    self.samples += n
+                    self._m_samples.inc(n)
+                    return False
+                table = self._tables[component] = {}
+            if folded not in table:
+                # Same reservation per table: distinct stacks plus the
+                # overflow bucket never exceed max_stacks_per_component.
+                limit = self.max_stacks_per_component - 1 + (
+                    OVERFLOW_KEY in table)
+                if len(table) >= limit:
+                    self.dropped_frames += n
+                    self._m_dropped.inc(n)
+                    table[OVERFLOW_KEY] = table.get(OVERFLOW_KEY, 0) + n
+                    self.samples += n
+                    self._m_samples.inc(n)
+                    return False
+            table[folded] = table.get(folded, 0) + n
+            self.samples += n
+            self._m_samples.inc(n)
+            return True
+
+    # -- export ----------------------------------------------------------
+
+    def tables(self) -> dict[str, dict[str, int]]:
+        """Cumulative flame tables: component → folded stack → samples."""
+        with self._lock:
+            return {comp: dict(stacks)
+                    for comp, stacks in self._tables.items()}
+
+    def stack_count(self) -> int:
+        """Distinct stacks currently held (the boundedness witness)."""
+        with self._lock:
+            return sum(len(stacks) for stacks in self._tables.values())
+
+    def folded(self, component: str | None = None) -> list[str]:
+        """flamegraph.pl-compatible lines, sorted: ``comp;stack count``.
+
+        The component is prefixed as the root frame so one flamegraph
+        shows the per-layer split at its base.  Output is byte-stable
+        for a given set of recorded samples.
+        """
+        lines = []
+        for comp, stacks in self.tables().items():
+            if component is not None and comp != component:
+                continue
+            for stack, count in stacks.items():
+                lines.append(f"{comp};{stack} {count}")
+        return sorted(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tables.clear()
+            self.samples = 0
+            self.dropped_frames = 0
+
+
+# ---------------------------------------------------------------------------
+# Flame-table analysis helpers
+# ---------------------------------------------------------------------------
+
+def hot_functions(stack_samples: Mapping[tuple[str, str], int] |
+                  Iterable[tuple[tuple[str, str], int]],
+                  top: int = 10) -> list[dict[str, Any]]:
+    """Top functions by **exclusive** samples (leaf-frame occurrences).
+
+    *stack_samples* maps ``(component, folded_stack)`` to sample
+    counts — the shape both :meth:`SamplingProfiler.tables` flattens to
+    and the ``profiles_by_time`` read path aggregates to.
+    """
+    items = (stack_samples.items()
+             if isinstance(stack_samples, Mapping) else stack_samples)
+    by_leaf: dict[str, dict[str, Any]] = {}
+    for (component, stack), samples in items:
+        leaf = stack.rsplit(";", 1)[-1]
+        entry = by_leaf.get(leaf)
+        if entry is None:
+            entry = by_leaf[leaf] = {
+                "function": leaf, "samples": 0, "components": {}}
+        entry["samples"] += samples
+        entry["components"][component] = (
+            entry["components"].get(component, 0) + samples)
+    ranked = sorted(by_leaf.values(),
+                    key=lambda e: (-e["samples"], e["function"]))
+    for entry in ranked:
+        entry["components"] = dict(sorted(entry["components"].items()))
+    return ranked[:top] if top else ranked
+
+
+def critical_path(trace: Mapping[str, Any]) -> dict[str, Any]:
+    """Per-component exclusive-time attribution for one span tree.
+
+    Exclusive time of a span is its duration minus the sum of its
+    children's durations (clamped at zero); summed per component it
+    answers "which layer dominated this request?".  For well-nested
+    trees the accounted total equals the root's duration; the
+    ``accounted_ms`` field makes any clock skew visible.
+    """
+    exclusive: dict[str, float] = {}
+
+    def walk(node: Mapping[str, Any]) -> None:
+        duration = float(node.get("duration_ms", 0.0))
+        child_sum = 0.0
+        for child in node.get("children", ()):
+            child_sum += float(child.get("duration_ms", 0.0))
+            walk(child)
+        comp = component_of(node["name"])
+        exclusive[comp] = (exclusive.get(comp, 0.0)
+                           + max(0.0, duration - child_sum))
+
+    walk(trace)
+    total = float(trace.get("duration_ms", 0.0))
+    accounted = sum(exclusive.values())
+    components = [
+        {
+            "component": comp,
+            "exclusive_ms": ms,
+            "share": (ms / total) if total > 0 else 0.0,
+        }
+        for comp, ms in sorted(exclusive.items(),
+                               key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return {
+        "trace_id": trace.get("trace_id", 0),
+        "root": trace.get("name", ""),
+        "total_ms": total,
+        "accounted_ms": accounted,
+        "components": components,
+    }

@@ -34,8 +34,15 @@ class SlowQueryLog:
 
     def record(self, op: str, elapsed_ms: float, *,
                outcome: str = "ok",
+               trace_id: int | None = None,
                detail: dict[str, Any] | None = None) -> bool:
-        """Offer one request; returns True when it was slow enough to keep."""
+        """Offer one request; returns True when it was slow enough to keep.
+
+        *trace_id* is stamped at record time so a slow-query row can be
+        joined against ``spans_by_time`` (and against histogram
+        exemplars) — the slow request's full span tree is one lookup
+        away instead of a needle in the trace ring.
+        """
         with self._lock:
             self._seen += 1
             if elapsed_ms < self.threshold_ms:
@@ -48,6 +55,8 @@ class SlowQueryLog:
                 "elapsed_ms": elapsed_ms,
                 "outcome": outcome,
             }
+            if trace_id:
+                entry["trace_id"] = trace_id
             if detail:
                 entry["detail"] = detail
             self._entries.append(entry)

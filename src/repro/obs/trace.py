@@ -64,7 +64,7 @@ class Span:
 
     __slots__ = ("tracer", "name", "attrs", "children", "status", "error",
                  "start", "end", "dropped_children", "dropped_attrs",
-                 "_root", "_token", "_span_budget",
+                 "_root", "_token", "_span_budget", "_tid", "_prev_thread_span",
                  "trace_id", "span_id", "parent_id", "wall_start")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
@@ -81,6 +81,8 @@ class Span:
         self._root: Span = self  # overwritten for child spans
         self._token: contextvars.Token | None = None
         self._span_budget = 1  # spans in this trace; meaningful on roots
+        self._tid = 0  # thread that entered the span (sampler attribution)
+        self._prev_thread_span: Span | None = None
         # Identity (set by the tracer): the trace this span belongs to,
         # its own id, and its parent's id — the parent may live on the
         # *other* side of a message broker (bus continuation links).
@@ -95,6 +97,15 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._token = self.tracer._current.set(self)
+        # Best-effort thread attribution for the sampling profiler: the
+        # innermost span entered on this thread.  Plain dict ops are
+        # atomic under the GIL; interleaved asyncio tasks on one thread
+        # can momentarily mis-restore, which only blurs *idle* event-loop
+        # samples (real work runs in worker threads, tracked exactly).
+        tid = self._tid = threading.get_ident()
+        spans = self.tracer._thread_spans
+        self._prev_thread_span = spans.get(tid)
+        spans[tid] = self
         return self
 
     def __exit__(self, exc_type, exc, _tb) -> None:
@@ -102,9 +113,17 @@ class Span:
         if exc_type is not None:
             self.status = "error"
             self.error = f"{exc_type.__name__}: {exc}"
+        spans = self.tracer._thread_spans
+        if spans.get(self._tid) is self:
+            if self._prev_thread_span is None:
+                spans.pop(self._tid, None)
+            else:
+                spans[self._tid] = self._prev_thread_span
+        self._prev_thread_span = None
         if self._token is not None:
             self.tracer._current.reset(self._token)
             self._token = None
+        self.tracer._observe_duration(self)
         if self._root is self:
             self.tracer._finish_trace(self)
 
@@ -174,15 +193,27 @@ class Tracer:
 
     def __init__(self, *, enabled: bool = True, max_traces: int = 32,
                  max_children: int = 128, max_spans_per_trace: int = 2000,
-                 max_attrs: int = 32):
+                 max_attrs: int = 32, record_durations: bool = True,
+                 registry=None):
         self.enabled = enabled
         self.max_children = max_children
         self.max_spans_per_trace = max_spans_per_trace
         self.max_attrs = max_attrs
+        # Auto-record an obs.span.duration_ms{component} histogram on
+        # every span exit: component latency distributions exist without
+        # per-callsite instrumentation.  *registry* is late-bound to the
+        # process default when None (avoids an import cycle at load).
+        self.record_durations = record_durations
+        self._registry = registry
+        self._duration_hists: dict[str, Any] = {}
         self._lock = threading.Lock()
         self._current: contextvars.ContextVar[Span | None] = (
             contextvars.ContextVar("repro_obs_current_span", default=None)
         )
+        # thread id -> innermost active span on that thread, maintained
+        # by Span.__enter__/__exit__ for the sampling profiler (which
+        # cannot read another thread's contextvars).
+        self._thread_spans: dict[int, Span] = {}
         self._traces: deque[dict[str, Any]] = deque(maxlen=max_traces)
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
@@ -237,6 +268,31 @@ class Tracer:
 
     def current_span(self) -> Span | None:
         return self._current.get()
+
+    def thread_components(self) -> dict[int, str]:
+        """Thread id → component of the innermost span active on that
+        thread right now (the dotted-name prefix, i.e. the Fig-3 layer).
+        The sampling profiler reads this to attribute wall-clock samples
+        cross-thread; threads with no active span are absent."""
+        return {
+            tid: span.name.split(".", 1)[0]
+            for tid, span in list(self._thread_spans.items())
+        }
+
+    def _observe_duration(self, span: Span) -> None:
+        if not self.record_durations:
+            return
+        component = span.name.split(".", 1)[0]
+        hist = self._duration_hists.get(component)
+        if hist is None:
+            registry = self._registry
+            if registry is None:
+                from repro import obs  # late: break the import cycle
+
+                registry = self._registry = obs.get_registry()
+            hist = self._duration_hists[component] = registry.histogram(
+                "obs.span.duration_ms", component=component)
+        hist.observe(span.duration_ms, trace_id=span.trace_id or None)
 
     # -- completed traces -------------------------------------------------
 

@@ -188,3 +188,90 @@ class TestDeltaSnapshotter:
         assert snap.maybe_collect(now=5.0) == ([], [])
         metrics, _ = snap.maybe_collect(now=10.0)
         assert metrics
+
+
+class TestExemplarRendering:
+    def test_prometheus_bucket_line_carries_exemplar(self, registry):
+        h = registry.histogram("lat", buckets=(10.0, 100.0))
+        h.observe(50.0, trace_id=42)
+        text = render_prometheus(registry)
+        [line] = [l for l in text.splitlines()
+                  if l.startswith("lat_bucket") and "# {" in l]
+        assert 'le="100"' in line
+        assert 'trace_id="42"' in line
+        assert " 50 " in line  # the exemplar value rides along
+
+    def test_buckets_without_exemplars_render_plain(self, registry):
+        h = registry.histogram("lat", buckets=(10.0,))
+        h.observe(5.0)  # no trace_id
+        text = render_prometheus(registry)
+        assert "# {" not in text
+
+    def test_snapshotter_record_carries_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(3.0, trace_id=9)
+        snap = TelemetrySnapshotter(registry, Tracer(enabled=False))
+        metrics, _ = snap.collect(now=1.0)
+        [m] = metrics
+        assert m["exemplars"][0]["trace_id"] == 9
+
+
+class TestProfileSnapshotting:
+    def _profiler(self, registry):
+        from repro.obs.profile import SamplingProfiler
+
+        return SamplingProfiler(tracer=Tracer(enabled=False),
+                                registry=registry)
+
+    def test_profile_records_are_deltas(self):
+        registry = MetricsRegistry()
+        prof = self._profiler(registry)
+        prof.record("server", "main;hot", 5)
+        snap = TelemetrySnapshotter(registry, Tracer(enabled=False),
+                                    profiler=prof)
+        metrics, _ = snap.collect(now=1.0)
+        profiles = [m for m in metrics if m["rtype"] == "profile"]
+        [p] = profiles
+        assert p["component"] == "server"
+        assert p["stack"] == "main;hot"
+        assert p["samples"] == 5 and p["total"] == 5
+        # Unchanged tables emit nothing next cycle (idempotence)...
+        metrics, _ = snap.collect(now=2.0)
+        assert [m for m in metrics if m["rtype"] == "profile"] == []
+        # ...and growth emits only the delta.
+        prof.record("server", "main;hot", 2)
+        metrics, _ = snap.collect(now=3.0)
+        [p] = [m for m in metrics if m["rtype"] == "profile"]
+        assert p["samples"] == 2 and p["total"] == 7
+
+    def test_no_profiler_emits_no_profile_records(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = TelemetrySnapshotter(registry, Tracer(enabled=False))
+        metrics, _ = snap.collect(now=1.0)
+        assert all(m["rtype"] == "metric" for m in metrics)
+
+
+class TestMetricsHTTPServer:
+    def test_serves_prometheus_text_on_ephemeral_port(self, registry):
+        import urllib.error
+        import urllib.request
+
+        from repro.obs.export import MetricsHTTPServer
+
+        registry.counter("server.requests").inc(3)
+        with MetricsHTTPServer(registry, port=0) as srv:
+            assert srv.port > 0
+            url = f"http://127.0.0.1:{srv.port}/metrics"
+            with urllib.request.urlopen(url) as resp:
+                body = resp.read().decode("utf-8")
+                ctype = resp.headers["Content-Type"]
+            assert "server_requests_total 3" in body
+            assert ctype.startswith("text/plain")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"http://127.0.0.1:{srv.port}/nope")
+            assert err.value.code == 404
+            assert srv.scrapes == 1  # the 404 is not a scrape
+        # Stopped: the port no longer accepts connections.
+        with pytest.raises(OSError):
+            urllib.request.urlopen(url, timeout=0.5)

@@ -133,3 +133,42 @@ class TestRegistry:
         handle.inc()
         # The same series is still what the snapshot exports.
         assert reg.snapshot()["reqs"]["value"] == 1
+
+
+class TestExemplars:
+    def test_observe_with_trace_id_records_exemplar(self):
+        h = Histogram(buckets=(10.0, 100.0))
+        h.observe(50.0, trace_id=7)
+        [ex] = h.exemplars()
+        assert ex["bucket"] == "100.0"
+        assert ex["value"] == 50.0
+        assert ex["trace_id"] == 7
+        assert ex["ts"] > 0
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        h = Histogram(buckets=(10.0,))
+        h.observe(3.0, trace_id=1)
+        h.observe(5.0, trace_id=2)
+        h.observe(500.0, trace_id=3)
+        exemplars = {e["bucket"]: e["trace_id"] for e in h.exemplars()}
+        assert exemplars == {"10.0": 2, "+Inf": 3}
+
+    def test_observe_without_trace_id_records_nothing(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.observe(2.0, trace_id=0)  # 0 means "no trace"
+        assert h.exemplars() == []
+        assert "exemplars" not in h.snapshot()
+
+    def test_snapshot_carries_exemplars(self):
+        h = Histogram(buckets=(10.0,))
+        h.observe(5.0, trace_id=11)
+        snap = json.loads(json.dumps(h.snapshot()))
+        assert snap["exemplars"][0]["trace_id"] == 11
+
+    def test_reset_clears_exemplars(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(5.0, trace_id=11)
+        reg.reset()
+        assert h.exemplars() == []

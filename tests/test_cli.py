@@ -283,3 +283,91 @@ class TestTopDetection:
         names = {m["name"] for m in frame["metrics"]}
         assert "detect.windows" in names
         assert "ingest.stream.lag" in names
+
+
+class TestProfile:
+    def test_once_json_finds_planted_hot_frame(self, capsys):
+        rc = main(["profile", "--once", "--json", "--seconds", "0.4",
+                   "--rows", "1", "--cols", "1", "--seed", "5"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        # Samples made the full loop: sampler → flame tables → bus →
+        # profiles_by_time → profile_flame read-back.
+        assert payload["samples"] > 0
+        assert payload["folded"]
+        assert all(line.rsplit(" ", 1)[1].isdigit()
+                   for line in payload["folded"])
+        assert any("_burn_cpu" in h["function"] for h in payload["hot"])
+
+    def test_text_output_is_folded_plus_table(self, capsys):
+        rc = main(["profile", "--seconds", "0.3", "--component", "server",
+                   "--rows", "1", "--cols", "1", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HOT FUNCTION" in out
+        flame_lines = [l for l in out.splitlines()
+                       if l.startswith("server;")]
+        assert flame_lines  # flamegraph.pl-compatible "stack count"
+        assert flame_lines == sorted(flame_lines)
+
+    def test_stable_json_diffs_clean(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            rc = main(["profile", "--seconds", "0.3",
+                       "--stable-json", str(path),
+                       "--rows", "1", "--cols", "1", "--seed", "5"])
+            assert rc == 0
+            capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+        stable = json.loads(paths[0].read_text())
+        assert stable["planted_found"] is True
+        assert stable["hot_function"].endswith("_burn_cpu")
+
+
+class TestMetricsServe:
+    def test_serve_exposes_prometheus_endpoint(self, log_dir, capsys):
+        import re
+        import threading
+        import urllib.request
+
+        bodies = {}
+
+        def run():
+            bodies["rc"] = main([
+                "metrics", str(log_dir / "console.log"),
+                "--serve", "0", "--serve-seconds", "4",
+            ])
+
+        t = threading.Thread(target=run)
+        with capsys.disabled():  # reader thread races the capture
+            pass
+        t.start()
+        try:
+            # Poll the announced port out of the captured stdout.
+            import time as _time
+            url = None
+            for _ in range(100):
+                _time.sleep(0.1)
+                out = capsys.readouterr().out
+                m = re.search(r"http://127\.0\.0\.1:(\d+)/metrics", out)
+                if m:
+                    url = m.group(0)
+                    break
+            assert url, "serve endpoint never announced"
+            body = urllib.request.urlopen(url).read().decode("utf-8")
+            assert "server_requests_total" in body
+            assert "# TYPE" in body
+        finally:
+            t.join(timeout=30)
+        assert bodies["rc"] == 0
+
+
+class TestTopProfileLine:
+    def test_frame_carries_profile_hotspots(self, capsys):
+        rc = main(["top", "--once", "--json", "--hours", "0.2",
+                   "--rows", "1", "--cols", "1", "--seed", "5"])
+        assert rc == 0
+        frame = json.loads(capsys.readouterr().out.strip())
+        assert "profile" in frame
+        assert frame["profile"]["samples"] >= 0
+        assert frame["telemetry"]["profiles_rows"] >= 0
